@@ -1,0 +1,38 @@
+//! # nectar-apps — the paper's application workloads
+//!
+//! Section 7 of the paper names the first Nectar applications; this
+//! crate implements them as measurable workloads over `nectar-core`:
+//!
+//! * [`vision`] — the Warp-fed vision pipeline with a distributed
+//!   spatial database: bulk image tiles plus latency-critical queries.
+//! * [`production`] — the parallel production system: a distributed
+//!   RETE match with fine-grained token traffic.
+//! * [`scientific`] — iPSC-ported kernels: a 1-D Jacobi stencil and
+//!   parallel simulated annealing with ring exchange.
+//! * [`dsm`] — shared virtual memory over Nectar (the Mach DSM use of
+//!   §7), with multicast invalidation.
+//! * [`transactions`] — Camelot-style two-phase commit over the
+//!   request-response transport (§7).
+//!
+//! Each workload returns a report the experiment harness (E16/E17)
+//! prints alongside the paper's qualitative claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsm;
+pub mod production;
+pub mod scientific;
+pub mod transactions;
+pub mod vision;
+
+/// The most frequently used names, for glob import.
+pub mod prelude {
+    pub use crate::dsm::{run_dsm, DsmConfig, DsmReport};
+    pub use crate::production::{run_production, ProductionConfig, ProductionReport};
+    pub use crate::scientific::{
+        run_annealing, run_jacobi, AnnealingConfig, AnnealingReport, JacobiConfig, JacobiReport,
+    };
+    pub use crate::transactions::{run_transactions, TxnConfig, TxnReport};
+    pub use crate::vision::{run_vision, VisionConfig, VisionReport};
+}

@@ -1,0 +1,53 @@
+//! Criterion benches for the LAN baseline (E08, E15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nectar_lan::prelude::*;
+use nectar_sim::time::Dur;
+use nectar_sim::units::Bandwidth;
+use std::hint::black_box;
+
+/// E08: one small-message latency measurement on the LAN.
+fn bench_e08_lan_latency(c: &mut Criterion) {
+    c.bench_function("e08_lan_latency_64b", |b| {
+        b.iter(|| {
+            let mut lan = LanSystem::new(4, LanConfig::default());
+            black_box(lan.measure_latency(0, 1, 64))
+        })
+    });
+}
+
+/// E15: a short offered-load run at two operating points.
+fn bench_e15_offered_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_offered_load");
+    g.sample_size(10);
+    for mbps in [2u64, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(mbps), &mbps, |b, &mbps| {
+            b.iter(|| {
+                let mut lan = LanSystem::new(16, LanConfig::default());
+                black_box(lan.offered_load_run(
+                    Bandwidth::from_mbit_per_sec(mbps),
+                    512,
+                    Dur::from_millis(100),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Raw CSMA/CD machinery: a contention burst.
+fn bench_csma_contention(c: &mut Criterion) {
+    c.bench_function("csma_8_station_burst", |b| {
+        b.iter(|| {
+            let mut eth = Ethernet::new(8, EthernetConfig::default(), 5);
+            for s in 0..8 {
+                eth.enqueue(Frame { src: s, dst: (s + 1) % 8, bytes: 512, tag: 0 });
+            }
+            eth.run_until(nectar_sim::time::Time::from_millis(50));
+            black_box(eth.stats().delivered)
+        })
+    });
+}
+
+criterion_group!(benches, bench_e08_lan_latency, bench_e15_offered_load, bench_csma_contention);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the protocol layer (E10): header codec,
+//! hardware checksum, and the byte-stream state machine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nectar_cab::board::CabId;
+use nectar_cab::checksum::fletcher16;
+use nectar_proto::header::{Header, PacketKind};
+use nectar_proto::transport::bytestream::{ByteStream, ByteStreamConfig};
+use nectar_proto::transport::Action;
+use nectar_sim::time::Time;
+use std::hint::black_box;
+
+fn bench_header_codec(c: &mut Criterion) {
+    let payload = vec![0xA5u8; 990];
+    let header = Header {
+        payload_len: payload.len() as u16,
+        ..Header::new(PacketKind::Data, CabId::new(0), CabId::new(1))
+    };
+    let wire = header.encode_with(&payload);
+    let mut g = c.benchmark_group("header_codec");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_1kb", |b| b.iter(|| black_box(header.encode_with(&payload))));
+    g.bench_function("decode_1kb", |b| b.iter(|| black_box(Header::decode(&wire).unwrap())));
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1024];
+    let mut g = c.benchmark_group("checksum");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("fletcher16_1kb", |b| b.iter(|| black_box(fletcher16(&data))));
+    g.finish();
+}
+
+/// A full in-memory byte-stream message exchange (no world, just the
+/// state machines passing packets back and forth).
+fn bench_bytestream_roundtrip(c: &mut Criterion) {
+    c.bench_function("bytestream_8kb_message", |b| {
+        b.iter(|| {
+            let cfg = ByteStreamConfig::default();
+            let mut tx = ByteStream::new(CabId::new(0), CabId::new(1), cfg);
+            let mut rx = ByteStream::new(CabId::new(1), CabId::new(0), cfg);
+            let data = vec![7u8; 8192];
+            let mut pending = Vec::new();
+            tx.send_message(Time::ZERO, 1, 2, &data, &mut pending);
+            let mut delivered = 0usize;
+            let mut guard = 0;
+            while !pending.is_empty() {
+                guard += 1;
+                assert!(guard < 1000);
+                let mut next = Vec::new();
+                for action in pending.drain(..) {
+                    if let Action::Send { header, payload } = action {
+                        let target = if header.dst_cab == CabId::new(1) { &mut rx } else { &mut tx };
+                        let mut out = Vec::new();
+                        target.on_packet(Time::ZERO, &header, &payload, &mut out);
+                        for a in out {
+                            match a {
+                                Action::Deliver { .. } => delivered += 1,
+                                other => next.push(other),
+                            }
+                        }
+                    }
+                }
+                pending = next
+                    .into_iter()
+                    .filter(|a| matches!(a, Action::Send { .. }))
+                    .collect();
+            }
+            black_box(delivered)
+        })
+    });
+}
+
+criterion_group!(benches, bench_header_codec, bench_checksum, bench_bytestream_roundtrip);
+criterion_main!(benches);

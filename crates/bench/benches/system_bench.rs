@@ -1,0 +1,95 @@
+//! Criterion benches for whole-system simulations (E03, E04, E07,
+//! E12, E14): wall-clock cost of regenerating each experiment's core
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nectar_core::prelude::*;
+use nectar_sim::time::Time;
+use std::hint::black_box;
+
+/// E03: one CAB-to-CAB message through a fresh single-HUB system.
+fn bench_e03_cab_to_cab(c: &mut Criterion) {
+    c.bench_function("e03_cab_to_cab_64b", |b| {
+        b.iter(|| {
+            let mut sys = NectarSystem::single_hub(4, SystemConfig::default());
+            black_box(sys.measure_cab_to_cab(0, 1, 64).latency)
+        })
+    });
+}
+
+/// E04: a 4-CAB ring moving 64 KB each.
+fn bench_e04_ring(c: &mut Criterion) {
+    c.bench_function("e04_ring_4x64kb", |b| {
+        b.iter(|| {
+            let mut sys = NectarSystem::single_hub(4, SystemConfig::default());
+            black_box(sys.measure_ring_aggregate(64 * 1024, 8192).rate)
+        })
+    });
+}
+
+/// E07: switching-mode comparison at one size.
+fn bench_e07_switching_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_switching");
+    for (label, mode) in [
+        ("packet", SwitchingMode::PacketSwitched),
+        ("circuit", SwitchingMode::CircuitCached),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let cfg = SystemConfig { switching: mode, ..SystemConfig::default() };
+                let mut sys = NectarSystem::single_hub(2, cfg);
+                black_box(sys.measure_cab_to_cab(0, 1, 4096).latency)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E12: the three node interfaces.
+fn bench_e12_interfaces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_interfaces");
+    for iface in NodeInterface::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(iface), &iface, |b, &iface| {
+            b.iter(|| {
+                let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+                black_box(sys.measure_node_to_node(0, 1, 1024, iface).latency)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E14: a message across a 1x4 mesh.
+fn bench_e14_mesh(c: &mut Criterion) {
+    c.bench_function("e14_mesh_4_hops", |b| {
+        b.iter(|| {
+            let mut sys = NectarSystem::mesh(1, 4, 2, SystemConfig::default());
+            black_box(sys.measure_cab_to_cab(0, 6, 64).latency)
+        })
+    });
+}
+
+/// E10b: a lossy 20 KB transfer with recovery.
+fn bench_e10b_loss_recovery(c: &mut Criterion) {
+    c.bench_function("e10b_lossy_20kb", |b| {
+        b.iter(|| {
+            let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+            sys.world_mut().inject_faults(0.1, 0.0, 7);
+            let data = vec![1u8; 20_000];
+            sys.world_mut().send_stream_now(0, 1, 1, 2, &data);
+            sys.world_mut().run_until(Time::from_millis(400));
+            black_box(sys.world().deliveries.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_e03_cab_to_cab,
+    bench_e04_ring,
+    bench_e07_switching_modes,
+    bench_e12_interfaces,
+    bench_e14_mesh,
+    bench_e10b_loss_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Prints the paper-vs-measured table for every experiment (or a
+//! selected subset named on the command line).
+
+use nectar_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let reg = registry();
+    if args.iter().any(|a| a == "--list" || a == "list") {
+        for (id, desc, _) in &reg {
+            println!("{id:>5}  {desc}");
+        }
+        return;
+    }
+    let selected: Vec<_> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        reg
+    } else {
+        let picked: Vec<_> = reg.into_iter().filter(|(id, _, _)| args.contains(&id.to_string())).collect();
+        if picked.is_empty() {
+            eprintln!("no experiment matches {args:?}; try --list");
+            std::process::exit(1);
+        }
+        picked
+    };
+    println!("Nectar reproduction — experiment report");
+    println!("(shape reproduction: simulator seeded with the paper's constants)\n");
+    for (_, _, run) in selected {
+        println!("{}", run());
+    }
+}

@@ -1,0 +1,61 @@
+//! The experiment registry: every table and figure of the paper's
+//! evaluation, one function each. See DESIGN.md §4 for the index.
+
+pub mod apps_exp;
+pub mod comparison;
+pub mod extensions;
+pub mod hub_level;
+pub mod latency;
+pub mod throughput;
+pub mod transport_exp;
+
+use crate::table::Table;
+
+/// All experiments in DESIGN.md order: `(id, description, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, fn() -> Table)> {
+    vec![
+        ("e01", "HUB latency & pipelining", hub_level::e01_hub_latency as fn() -> Table),
+        ("e02", "controller switching rate", hub_level::e02_switch_rate),
+        ("e03", "latency goals (§2.3)", latency::e03_latency_goals),
+        ("e04", "aggregate bandwidth", throughput::e04_aggregate_bandwidth),
+        ("e05", "Fig. 7 circuit walk", hub_level::e05_fig7_circuit),
+        ("e06", "multicast vs unicast", hub_level::e06_multicast),
+        ("e07", "packet vs circuit switching", hub_level::e07_circuit_vs_packet),
+        ("e08", "Nectar vs LAN", comparison::e08_lan_comparison),
+        ("e09", "kernel operation costs", latency::e09_kernel_ops),
+        ("e10", "transport protocols", transport_exp::e10_transports),
+        ("e10b", "loss recovery", transport_exp::e10_loss_recovery),
+        ("e10c", "window sweep", transport_exp::e10_window_sweep),
+        ("e10d", "RPC under loss", transport_exp::e10_rpc_loss),
+        ("e11", "packet pipeline", throughput::e11_packet_pipeline),
+        ("e12", "CAB-node interfaces", latency::e12_node_interfaces),
+        ("e13", "CAB memory system", throughput::e13_cab_memory),
+        ("e14", "mesh scaling", latency::e14_mesh_scaling),
+        ("e15", "contention vs LAN", comparison::e15_contention),
+        ("e16", "vision application", apps_exp::e16_vision),
+        ("e16b", "scientific kernels", apps_exp::e16b_scientific),
+        ("e17", "production system", apps_exp::e17_production),
+        ("e18", "CAB full duplex", throughput::e18_full_duplex),
+        ("e19", "shared virtual memory", extensions::e19_dsm),
+        ("e20", "VLSI projection", extensions::e20_vlsi_projection),
+        ("e21", "IP over Nectar", extensions::e21_ip_over_nectar),
+        ("e22", "heterogeneous nodes", extensions::e22_heterogeneity),
+        ("e23", "distributed transactions", extensions::e23_transactions),
+        ("e24", "automatic task mapping", extensions::e24_task_mapping),
+        ("abl", "design ablations", apps_exp::ablations),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let reg = registry();
+        let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len());
+    }
+}

@@ -1,0 +1,217 @@
+//! Transport-protocol experiments: E10 (protocol comparison, loss
+//! recovery, window sweep).
+
+use crate::table::{mbit, us, Table};
+use nectar_core::prelude::*;
+use nectar_proto::transport::bytestream::ByteStreamConfig;
+use nectar_sim::time::{Dur, Time};
+
+/// E10a — the three transports side by side (§6.2.2).
+pub fn e10_transports() -> Table {
+    let mut t = Table::new(
+        "E10",
+        "transport protocols (§6.2.2)",
+        &["protocol", "semantics", "64 B one-way / RTT"],
+    );
+    // Each protocol measures on a fresh (cold) system so receiver
+    // thread-switch costs are charged identically.
+    let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+    let t0 = sys.world().now();
+    sys.world_mut().send_datagram_now(0, 1, 1, 2, &[7u8; 64]);
+    while sys.world().deliveries.is_empty() {
+        let next = sys.world().next_event_time().expect("delivers");
+        sys.world_mut().run_until(next);
+    }
+    let dgram = sys.world().deliveries[0].at.saturating_since(t0);
+    t.row(&[
+        "datagram".into(),
+        "unreliable, one packet".into(),
+        format!("{} one-way", us(dgram)),
+    ]);
+    // Byte-stream one-way.
+    let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+    let bs = sys.measure_cab_to_cab(0, 1, 64).latency;
+    t.row(&[
+        "byte-stream".into(),
+        "reliable, windowed, ordered".into(),
+        format!("{} one-way", us(bs)),
+    ]);
+    // Request-response RTT.
+    let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+    let rtt = sys.measure_rpc_rtt(0, 1, 64, 64);
+    t.row(&[
+        "request-response".into(),
+        "at-most-once RPC".into(),
+        format!("{} RTT", us(rtt)),
+    ]);
+    t.note("datagram is the floor (no ack machinery); byte-stream adds negligible one-way cost;");
+    t.note("RPC RTT is roughly two crossings plus server turnaround");
+    t
+}
+
+/// E10b — loss recovery: delivered integrity and retransmission counts
+/// across loss rates.
+pub fn e10_loss_recovery() -> Table {
+    let mut t = Table::new(
+        "E10b",
+        "byte-stream loss recovery",
+        &["loss rate", "delivered intact", "retransmissions", "transfer time (20 KB)"],
+    );
+    for &loss in &[0.0f64, 0.02, 0.05, 0.10, 0.20] {
+        let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+        if loss > 0.0 {
+            sys.world_mut().inject_faults(loss, 0.0, 91 + (loss * 100.0) as u64);
+        }
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let t0 = sys.world().now();
+        sys.world_mut().send_stream_now(0, 1, 1, 2, &data);
+        let deadline = t0 + Dur::from_secs(2);
+        while sys.world().deliveries.is_empty() {
+            let Some(next) = sys.world().next_event_time() else { break };
+            if next > deadline {
+                break;
+            }
+            sys.world_mut().run_until(next);
+        }
+        let intact = sys
+            .world_mut()
+            .mailbox_take(1, 2)
+            .map(|m| m.data() == &data[..])
+            .unwrap_or(false);
+        let stats = sys.world().stream_stats(0, 1).unwrap();
+        let elapsed = sys.world().deliveries.last().map_or(Dur::ZERO, |d| d.at.saturating_since(t0));
+        t.row(&[
+            format!("{:.0}%", loss * 100.0),
+            if intact { "yes".into() } else { "NO".into() },
+            format!("{}", stats.retransmissions),
+            us(elapsed),
+        ]);
+    }
+    t.note("go-back-N: loss costs a full window plus an RTO; delivery stays exactly-once in-order");
+    t
+}
+
+/// E10c — sliding-window sweep: throughput vs window size.
+pub fn e10_window_sweep() -> Table {
+    let mut t = Table::new(
+        "E10c",
+        "sliding-window flow control sweep",
+        &["window (packets)", "256 KB throughput"],
+    );
+    for &window in &[1u16, 2, 4, 8, 16] {
+        let cfg = SystemConfig {
+            stream: ByteStreamConfig { window, ..ByteStreamConfig::default() },
+            ..SystemConfig::default()
+        };
+        let mut sys = NectarSystem::single_hub(2, cfg);
+        let tp = sys.measure_stream_throughput(0, 1, 256 * 1024, 8192);
+        t.row(&[format!("{window}"), mbit(tp.rate)]);
+    }
+    t.note("the HUB ready-bit protocol allows one packet per fiber hop, so the transport window");
+    t.note("stops mattering once it covers the ack round trip");
+    t
+}
+
+/// E10d — request-response under loss: at-most-once semantics hold.
+pub fn e10_rpc_loss() -> Table {
+    let mut t = Table::new(
+        "E10d",
+        "request-response under loss (at-most-once)",
+        &["loss rate", "calls", "responses", "server executions", "replays"],
+    );
+    for &loss in &[0.0f64, 0.10, 0.25] {
+        let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+        if loss > 0.0 {
+            sys.world_mut().inject_faults(loss, 0.0, 1234 + (loss * 100.0) as u64);
+        }
+        let calls = 20usize;
+        let mut answered = 0usize;
+        for i in 0..calls {
+            let t0 = sys.world().now();
+            let before = sys.world().deliveries.len();
+            let tx = sys.world_mut().send_rpc_now(0, 1, 5, 80, &[i as u8; 32]);
+            // Run until the request shows up, answer it, run until the
+            // response shows up (or the client times out).
+            let deadline = t0 + Dur::from_millis(20);
+            let mut responded = false;
+            loop {
+                let Some(next) = sys.world().next_event_time() else { break };
+                if next > deadline {
+                    break;
+                }
+                sys.world_mut().run_until(next);
+                if !responded
+                    && sys.world().deliveries.len() > before
+                    && sys.world().deliveries[before..].iter().any(|d| d.cab == 1)
+                {
+                    sys.world_mut().rpc_respond_now(1, 0, tx, &[i as u8; 32]);
+                    responded = true;
+                }
+                if sys.world().deliveries.iter().skip(before).any(|d| d.cab == 0) {
+                    answered += 1;
+                    break;
+                }
+            }
+            // Drain both mailboxes between calls.
+            while sys.world_mut().mailbox_take(0, 5).is_some() {}
+            while sys.world_mut().mailbox_take(1, 80).is_some() {}
+        }
+        // Server executions == requests delivered (duplicates suppressed).
+        let executions =
+            sys.world().deliveries.iter().filter(|d| d.cab == 1 && d.mailbox == 80).count();
+        let _ = Time::ZERO;
+        t.row(&[
+            format!("{:.0}%", loss * 100.0),
+            format!("{calls}"),
+            format!("{answered}"),
+            format!("{executions}"),
+            "cached-response replays on duplicate requests".into(),
+        ]);
+    }
+    t.note("a lost response triggers a client retransmission; the server replays its cached");
+    t.note("response instead of re-executing the call");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_datagram_is_fastest() {
+        let t = e10_transports();
+        let dg: f64 =
+            t.rows[0][2].trim_end_matches(" one-way").trim_end_matches(" us").parse().unwrap();
+        let bs: f64 =
+            t.rows[1][2].trim_end_matches(" one-way").trim_end_matches(" us").parse().unwrap();
+        assert!(dg <= bs + 0.5, "datagram {dg} vs byte-stream {bs}");
+    }
+
+    #[test]
+    fn e10b_always_intact() {
+        let t = e10_loss_recovery();
+        for row in &t.rows {
+            assert_eq!(row[1], "yes", "corrupted delivery at {row:?}");
+        }
+        // More loss, more retransmissions.
+        let first: u64 = t.rows[0][2].parse().unwrap();
+        let last: u64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert_eq!(first, 0);
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn e10c_window_one_is_slowest() {
+        let t = e10_window_sweep();
+        let rates: Vec<f64> =
+            t.rows.iter().map(|r| r[1].trim_end_matches(" Mbit/s").parse().unwrap()).collect();
+        assert!(rates[0] < rates[2], "window 1 must trail window 4: {rates:?}");
+    }
+
+    #[test]
+    fn e10d_answers_most_calls_under_loss() {
+        let t = e10_rpc_loss();
+        let clean: usize = t.rows[0][2].parse().unwrap();
+        assert_eq!(clean, 20, "no loss -> all answered");
+    }
+}

@@ -1,0 +1,62 @@
+//! A minimal single-HUB driver for the hardware-level experiments
+//! (E01/E02): feeds timed items into one [`Hub`] and collects timed
+//! emissions, with no CAB software in the path.
+
+use nectar_hub::prelude::*;
+use nectar_sim::prelude::*;
+
+enum Ev {
+    Arrive(PortId, Item),
+    Internal(InternalEv),
+}
+
+/// Runs `hub` against timed arrivals; returns all emissions.
+pub fn drive_hub(hub: &mut Hub, arrivals: Vec<(Time, PortId, Item)>) -> Vec<Emission> {
+    let mut eng: Engine<Ev> = Engine::new();
+    for (at, port, item) in arrivals {
+        eng.schedule_at(at, Ev::Arrive(port, item));
+    }
+    let mut emissions = Vec::new();
+    let mut fx = Effects::new();
+    while let Some(ev) = eng.step() {
+        let now = eng.now();
+        fx.clear();
+        match ev {
+            Ev::Arrive(port, item) => hub.item_arrives(now, port, item, &mut fx),
+            Ev::Internal(ie) => hub.internal(now, ie, &mut fx),
+        }
+        emissions.append(&mut fx.emissions);
+        for i in fx.internal.drain(..) {
+            eng.schedule_at(i.at, Ev::Internal(i.ev));
+        }
+    }
+    emissions
+}
+
+/// The data-packet emissions among `emissions`, in time order.
+pub fn packet_emissions(emissions: &[Emission]) -> Vec<&Emission> {
+    let mut out: Vec<&Emission> =
+        emissions.iter().filter(|e| matches!(e.item, Item::Packet(_))).collect();
+    out.sort_by_key(|e| e.at);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_reproduces_the_700ns_figure() {
+        let mut hub = Hub::new(HubId::new(0), HubConfig::prototype());
+        let open = Command::open(false, false, false, HubId::new(0), PortId::new(8));
+        let emissions = drive_hub(
+            &mut hub,
+            vec![
+                (Time::ZERO, PortId::new(4), open.into()),
+                (Time::from_nanos(240), PortId::new(4), Packet::new(1, vec![0u8; 64]).into()),
+            ],
+        );
+        let data = packet_emissions(&emissions);
+        assert_eq!(data[0].at, Time::from_nanos(700));
+    }
+}

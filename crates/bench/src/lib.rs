@@ -1,0 +1,20 @@
+//! # nectar-bench — the experiment harness
+//!
+//! One runner per table/figure of the paper's evaluation (see
+//! DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results). The `report` binary prints any subset:
+//!
+//! ```text
+//! cargo run --release -p nectar-bench --bin report            # everything
+//! cargo run --release -p nectar-bench --bin report -- e01 e03 # a subset
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod hubdriver;
+pub mod table;
+
+pub use experiments::registry;
+pub use table::Table;

@@ -1,0 +1,124 @@
+//! Result tables for the experiment harness.
+//!
+//! Every experiment produces a [`Table`] with a paper-reference column
+//! next to the measured values, so `report` output reads like the
+//! EXPERIMENTS.md index.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "E01".
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, calibration remarks).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Adds a row from string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        let owned: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&owned);
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in microseconds with two decimals.
+pub fn us(d: nectar_sim::time::Dur) -> String {
+    format!("{:.2} us", d.as_micros_f64())
+}
+
+/// Formats a bandwidth in Mbit/s with one decimal.
+pub fn mbit(b: nectar_sim::units::Bandwidth) -> String {
+    format!("{:.1} Mbit/s", b.as_mbit_per_sec_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E00", "smoke", &["metric", "paper", "measured"]);
+        t.row_strs(&["setup latency", "700 ns", "700 ns"]);
+        t.note("cycle-calibrated");
+        let s = t.to_string();
+        assert!(s.contains("E00"));
+        assert!(s.contains("setup latency"));
+        assert!(s.contains("note: cycle-calibrated"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new("E00", "smoke", &["a", "b"]);
+        t.row_strs(&["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(nectar_sim::time::Dur::from_micros(30)), "30.00 us");
+        assert_eq!(mbit(nectar_sim::units::Bandwidth::from_mbit_per_sec(100)), "100.0 Mbit/s");
+    }
+}

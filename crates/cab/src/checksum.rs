@@ -1,0 +1,92 @@
+//! The CAB's hardware checksum unit.
+//!
+//! "Hardware checksum computation removes this burden from protocol
+//! software" (§5.1) and checking happens in parallel with DMA, so the
+//! simulation charges *zero time* for checksums — the function here
+//! exists so the transport protocols can actually detect the corrupted
+//! packets the fault-injection experiments create.
+//!
+//! The algorithm is Fletcher-16, a classic choice for 1980s protocol
+//! hardware: position-sensitive (catches reordered bytes, which a plain
+//! sum misses) and computable in one pass.
+
+/// Computes the Fletcher-16 checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_cab::checksum::fletcher16;
+/// assert_eq!(fletcher16(b"abcde"), 0xC8F0);
+/// assert_ne!(fletcher16(b"abcde"), fletcher16(b"abdce")); // order matters
+/// ```
+pub fn fletcher16(data: &[u8]) -> u16 {
+    let mut sum1: u32 = 0;
+    let mut sum2: u32 = 0;
+    for chunk in data.chunks(5802) {
+        // 5802 is the largest block with no u32 overflow before reduction.
+        for &b in chunk {
+            sum1 += b as u32;
+            sum2 += sum1;
+        }
+        sum1 %= 255;
+        sum2 %= 255;
+    }
+    ((sum2 as u16) << 8) | sum1 as u16
+}
+
+/// Verifies `data` against an expected checksum.
+pub fn verify(data: &[u8], expected: u16) -> bool {
+    fletcher16(data) == expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard Fletcher-16 test vectors.
+        assert_eq!(fletcher16(b"abcde"), 0xC8F0);
+        assert_eq!(fletcher16(b"abcdef"), 0x2057);
+        assert_eq!(fletcher16(b"abcdefgh"), 0x0627);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(fletcher16(&[]), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0x5Au8; 1024];
+        let sum = fletcher16(&data);
+        for byte in [0usize, 100, 1023] {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(fletcher16(&corrupted), sum, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_transpositions() {
+        let sum = fletcher16(b"network backplane");
+        assert_ne!(fletcher16(b"network backplena"), sum);
+    }
+
+    #[test]
+    fn large_blocks_do_not_overflow() {
+        // One block larger than the internal reduction interval.
+        let data = vec![0xFFu8; 100_000];
+        let sum = fletcher16(&data);
+        assert!(verify(&data, sum));
+    }
+
+    #[test]
+    fn verify_matches() {
+        let data = b"message";
+        assert!(verify(data, fletcher16(data)));
+        assert!(!verify(data, fletcher16(data) ^ 1));
+    }
+}

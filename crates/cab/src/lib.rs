@@ -1,0 +1,60 @@
+//! # nectar-cab — the communication accelerator board
+//!
+//! The CAB is "the interface between a node and the Nectar-net"
+//! (paper §5): a SPARC-based board that off-loads protocol processing
+//! from the node. This crate models its *hardware*:
+//!
+//! * [`timings`] — every per-operation cost constant ([`CabTimings`](timings::CabTimings)).
+//! * [`memory`] — PROM / program RAM / 1 MB data RAM layout and a
+//!   buffer allocator; DMA is legal only in data RAM.
+//! * [`protection`] — 1 KB-page protection, 32 domains, VME domain.
+//! * [`dma`] — the four-channel DMA controller with shared 66 MB/s
+//!   data-memory bandwidth and 10 MB/s VME pacing.
+//! * [`checksum`] — the hardware Fletcher-16 unit (zero time cost).
+//! * [`timer`] — low-overhead hardware timers.
+//! * [`fiber`] — the 1 KB fiber input/output queues and the upcall
+//!   drain deadline of §6.2.1.
+//! * [`board`] — [`Cab`](board::Cab) assembling all of the above.
+//!
+//! The CAB's *software* (kernel threads, mailboxes, protocols) lives in
+//! `nectar-kernel` and `nectar-proto`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nectar_cab::prelude::*;
+//! use nectar_sim::time::Time;
+//!
+//! let mut cab = Cab::new(CabId::new(0), CabTimings::prototype());
+//! let buf = cab.memory.alloc(1024)?;
+//! let xfer = cab.dma.start_checked(
+//!     Time::ZERO, Channel::FiberOut, buf, 1024, &cab.protection, Domain::KERNEL,
+//! )?;
+//! // 1 KB leaves at fiber rate: 81.92 us.
+//! assert_eq!((xfer.complete - xfer.start).nanos(), 81_920);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod checksum;
+pub mod dma;
+pub mod fiber;
+pub mod memory;
+pub mod protection;
+pub mod timer;
+pub mod timings;
+
+/// The most frequently used names, for glob import.
+pub mod prelude {
+    pub use crate::board::{Cab, CabId};
+    pub use crate::checksum::fletcher16;
+    pub use crate::dma::{Channel, DmaController, DmaError, Transfer};
+    pub use crate::fiber::FiberPort;
+    pub use crate::memory::{CabAddr, DataAllocator, Region};
+    pub use crate::protection::{Domain, Perms, ProtectionFault, ProtectionTable};
+    pub use crate::timer::{TimerId, TimerUnit};
+    pub use crate::timings::CabTimings;
+}

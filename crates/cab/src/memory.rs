@@ -1,0 +1,270 @@
+//! The CAB's on-board memories.
+//!
+//! "The on-board CAB memory is split into two regions: one intended for
+//! use as program memory, the other as data memory. DMA transfers are
+//! supported for data memory only. [...] the total bandwidth of the
+//! data memory is 66 megabytes/second, sufficient to support [...]
+//! concurrent accesses" (§5.2). This module models region layout and
+//! simple bump/free-list allocation; bandwidth arbitration lives in
+//! [`crate::dma`].
+
+use core::fmt;
+
+/// Which memory region an address falls in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// 128 KB PROM: executable, not writable.
+    Prom,
+    /// 512 KB program RAM.
+    ProgramRam,
+    /// 1 MB data RAM — the only region DMA may touch.
+    DataRam,
+    /// CAB device registers (mapped at the top of the address space).
+    Devices,
+}
+
+/// A CAB-local address (the CAB occupies a 24-bit region of the node's
+/// VME address space, §5.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CabAddr(pub u32);
+
+impl fmt::Display for CabAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#08x}", self.0)
+    }
+}
+
+/// Size of the PROM region.
+pub const PROM_BYTES: u32 = 128 << 10;
+/// Size of the program RAM region.
+pub const PROGRAM_RAM_BYTES: u32 = 512 << 10;
+/// Size of the data RAM region.
+pub const DATA_RAM_BYTES: u32 = 1 << 20;
+/// Total addressable span (24-bit VME window).
+pub const ADDRESS_SPACE_BYTES: u32 = 1 << 24;
+
+/// Base of the PROM region.
+pub const PROM_BASE: CabAddr = CabAddr(0);
+/// Base of the program RAM region.
+pub const PROGRAM_RAM_BASE: CabAddr = CabAddr(PROM_BYTES);
+/// Base of the data RAM region.
+pub const DATA_RAM_BASE: CabAddr = CabAddr(PROM_BYTES + PROGRAM_RAM_BYTES);
+/// Base of the device-register region.
+pub const DEVICE_BASE: CabAddr = CabAddr(ADDRESS_SPACE_BYTES - (64 << 10));
+
+/// Classifies an address into its region, or `None` for unmapped holes.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_cab::memory::{region_of, Region, DATA_RAM_BASE};
+/// assert_eq!(region_of(DATA_RAM_BASE), Some(Region::DataRam));
+/// ```
+pub fn region_of(addr: CabAddr) -> Option<Region> {
+    let a = addr.0;
+    if a < PROM_BYTES {
+        Some(Region::Prom)
+    } else if a < PROM_BYTES + PROGRAM_RAM_BYTES {
+        Some(Region::ProgramRam)
+    } else if a < PROM_BYTES + PROGRAM_RAM_BYTES + DATA_RAM_BYTES {
+        Some(Region::DataRam)
+    } else if a >= DEVICE_BASE.0 && a < ADDRESS_SPACE_BYTES {
+        Some(Region::Devices)
+    } else {
+        None
+    }
+}
+
+/// `true` if a `len`-byte range starting at `addr` lies wholly in data
+/// RAM (the only DMA-capable region, §5.2).
+pub fn dma_capable(addr: CabAddr, len: u32) -> bool {
+    let end = match addr.0.checked_add(len) {
+        Some(e) => e,
+        None => return false,
+    };
+    region_of(addr) == Some(Region::DataRam)
+        && (len == 0 || region_of(CabAddr(end - 1)) == Some(Region::DataRam))
+}
+
+/// Errors from the data-memory allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough contiguous free data RAM.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u32,
+    },
+    /// Freeing a block that was never allocated (double free / bad ptr).
+    BadFree {
+        /// Address passed to `free`.
+        addr: CabAddr,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of CAB data memory (requested {requested} bytes)")
+            }
+            AllocError::BadFree { addr } => write!(f, "bad free at {addr}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A first-fit allocator over the 1 MB data RAM, used for mailbox
+/// buffers and packet staging ("another CAB function is to provide
+/// temporary buffer space for messages in an efficient way", §6.1).
+#[derive(Clone, Debug)]
+pub struct DataAllocator {
+    /// Sorted, disjoint free extents (addr, len).
+    free: Vec<(u32, u32)>,
+    /// Live allocations addr -> len.
+    live: std::collections::BTreeMap<u32, u32>,
+}
+
+impl Default for DataAllocator {
+    fn default() -> Self {
+        DataAllocator::new()
+    }
+}
+
+impl DataAllocator {
+    /// An allocator owning all of data RAM.
+    pub fn new() -> DataAllocator {
+        DataAllocator {
+            free: vec![(DATA_RAM_BASE.0, DATA_RAM_BYTES)],
+            live: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Allocates `len` bytes of data RAM (first fit).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when no free extent is large enough.
+    pub fn alloc(&mut self, len: u32) -> Result<CabAddr, AllocError> {
+        let len = len.max(1);
+        for i in 0..self.free.len() {
+            let (base, flen) = self.free[i];
+            if flen >= len {
+                if flen == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (base + len, flen - len);
+                }
+                self.live.insert(base, len);
+                return Ok(CabAddr(base));
+            }
+        }
+        Err(AllocError::OutOfMemory { requested: len })
+    }
+
+    /// Frees a block returned by [`alloc`](DataAllocator::alloc),
+    /// coalescing adjacent free extents.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadFree`] if `addr` is not a live allocation.
+    pub fn free(&mut self, addr: CabAddr) -> Result<(), AllocError> {
+        let len = self.live.remove(&addr.0).ok_or(AllocError::BadFree { addr })?;
+        let pos = self.free.partition_point(|&(b, _)| b < addr.0);
+        self.free.insert(pos, (addr.0, len));
+        // Coalesce around `pos`.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u32 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_layout_matches_paper() {
+        assert_eq!(region_of(CabAddr(0)), Some(Region::Prom));
+        assert_eq!(region_of(PROGRAM_RAM_BASE), Some(Region::ProgramRam));
+        assert_eq!(region_of(DATA_RAM_BASE), Some(Region::DataRam));
+        assert_eq!(region_of(CabAddr(DATA_RAM_BASE.0 + DATA_RAM_BYTES - 1)), Some(Region::DataRam));
+        assert_eq!(region_of(CabAddr(DATA_RAM_BASE.0 + DATA_RAM_BYTES)), None);
+        assert_eq!(region_of(DEVICE_BASE), Some(Region::Devices));
+    }
+
+    #[test]
+    fn dma_only_in_data_ram() {
+        assert!(dma_capable(DATA_RAM_BASE, 1024));
+        assert!(!dma_capable(PROGRAM_RAM_BASE, 16), "DMA to program memory is not supported");
+        assert!(!dma_capable(CabAddr(DATA_RAM_BASE.0 + DATA_RAM_BYTES - 8), 16), "crosses the end");
+        assert!(!dma_capable(CabAddr(u32::MAX - 4), 16), "overflow is rejected");
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = DataAllocator::new();
+        let total = a.free_bytes();
+        let b1 = a.alloc(1024).unwrap();
+        let b2 = a.alloc(4096).unwrap();
+        assert_ne!(b1, b2);
+        assert_eq!(a.free_bytes(), total - 5120);
+        a.free(b1).unwrap();
+        a.free(b2).unwrap();
+        assert_eq!(a.free_bytes(), total);
+        assert_eq!(a.live_allocations(), 0);
+    }
+
+    #[test]
+    fn coalescing_restores_contiguity() {
+        let mut a = DataAllocator::new();
+        let blocks: Vec<_> = (0..8).map(|_| a.alloc(128 << 10).unwrap()).collect();
+        assert!(a.alloc(1 << 20).is_err(), "all of data RAM is allocated");
+        for b in blocks {
+            a.free(b).unwrap();
+        }
+        // After coalescing, one full-size allocation fits again.
+        assert!(a.alloc(1 << 20).is_ok());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = DataAllocator::new();
+        let b = a.alloc(64).unwrap();
+        a.free(b).unwrap();
+        assert_eq!(a.free(b), Err(AllocError::BadFree { addr: b }));
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut a = DataAllocator::new();
+        assert!(matches!(
+            a.alloc(2 << 20),
+            Err(AllocError::OutOfMemory { requested }) if requested == 2 << 20
+        ));
+    }
+
+    #[test]
+    fn zero_sized_alloc_rounds_up() {
+        let mut a = DataAllocator::new();
+        let b = a.alloc(0).unwrap();
+        a.free(b).unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! CAB hardware timers.
+//!
+//! "Hardware timers allow time-outs to be set by the software with low
+//! overhead" (§5.1). The unit hands out timer ids; the simulation loop
+//! owns actual scheduling, and [`TimerUnit::fire`] filters stale
+//! expirations after a [`cancel`](TimerUnit::cancel) — exactly the race
+//! a retransmission timer must survive.
+
+use nectar_sim::time::{Dur, Time};
+use std::collections::HashMap;
+
+/// Handle to one armed timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+/// The CAB timer device.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_cab::timer::TimerUnit;
+/// use nectar_sim::time::{Dur, Time};
+///
+/// let mut timers = TimerUnit::new();
+/// let (id, expiry) = timers.arm(Time::ZERO, Dur::from_micros(500));
+/// assert_eq!(expiry, Time::from_micros(500));
+/// timers.cancel(id);
+/// assert!(!timers.fire(id), "cancelled timers do not fire");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TimerUnit {
+    next: u64,
+    armed: HashMap<TimerId, Time>,
+}
+
+impl TimerUnit {
+    /// A unit with no timers armed.
+    pub fn new() -> TimerUnit {
+        TimerUnit::default()
+    }
+
+    /// Arms a timer for `delay` from `now`; returns its id and expiry
+    /// time (which the caller schedules in its event loop).
+    pub fn arm(&mut self, now: Time, delay: Dur) -> (TimerId, Time) {
+        let id = TimerId(self.next);
+        self.next += 1;
+        let expiry = now + delay;
+        self.armed.insert(id, expiry);
+        (id, expiry)
+    }
+
+    /// Cancels an armed timer. Returns `true` if it was still armed.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.armed.remove(&id).is_some()
+    }
+
+    /// Consumes an expiry event. Returns `true` exactly when the timer
+    /// is still armed — a cancelled or already-fired timer returns
+    /// `false` and the caller must ignore the event.
+    pub fn fire(&mut self, id: TimerId) -> bool {
+        self.armed.remove(&id).is_some()
+    }
+
+    /// Number of currently armed timers.
+    pub fn armed_count(&self) -> usize {
+        self.armed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_fire_cycle() {
+        let mut t = TimerUnit::new();
+        let (id, expiry) = t.arm(Time::from_micros(10), Dur::from_micros(5));
+        assert_eq!(expiry, Time::from_micros(15));
+        assert_eq!(t.armed_count(), 1);
+        assert!(t.fire(id));
+        assert!(!t.fire(id), "double fire is filtered");
+        assert_eq!(t.armed_count(), 0);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut t = TimerUnit::new();
+        let (id, _) = t.arm(Time::ZERO, Dur::from_micros(1));
+        assert!(t.cancel(id));
+        assert!(!t.cancel(id));
+        assert!(!t.fire(id));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut t = TimerUnit::new();
+        let (a, _) = t.arm(Time::ZERO, Dur::from_micros(1));
+        let (b, _) = t.arm(Time::ZERO, Dur::from_micros(1));
+        assert_ne!(a, b);
+        assert_eq!(t.armed_count(), 2);
+    }
+}

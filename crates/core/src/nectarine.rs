@@ -1,0 +1,269 @@
+//! Nectarine: the application programming interface.
+//!
+//! "Nectarine presents the programmer with a simple communication
+//! abstraction: applications consist of tasks that communicate by
+//! transferring messages between user-specified buffers. Tasks are
+//! processes on any CAB or node. [...] Using Nectarine, the programmer
+//! can create tasks, manage buffers, and send and receive messages"
+//! (§6.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use nectar_core::nectarine::Nectarine;
+//! use nectar_core::world::SystemConfig;
+//! use nectar_sim::time::Dur;
+//!
+//! let mut app = Nectarine::single_hub(4, SystemConfig::default());
+//! let producer = app.create_task("producer", 0);
+//! let consumer = app.create_task("consumer", 1);
+//! app.send(producer, consumer, b"frame 0");
+//! let msg = app.receive_blocking(consumer, Dur::from_millis(1)).expect("delivered");
+//! assert_eq!(msg.data(), b"frame 0");
+//! ```
+
+use crate::system::NectarSystem;
+use crate::world::SystemConfig;
+use core::fmt;
+use nectar_kernel::mailbox::Message;
+use nectar_sim::time::{Dur, Time};
+
+/// Handle to one Nectarine task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Task {
+    name: String,
+    cab: usize,
+    mailbox: u16,
+}
+
+/// The Nectarine runtime: tasks, buffers, and message passing over a
+/// [`NectarSystem`].
+pub struct Nectarine {
+    system: NectarSystem,
+    tasks: Vec<Task>,
+    next_mailbox: Vec<u16>,
+}
+
+impl Nectarine {
+    /// Wraps an existing system.
+    pub fn new(system: NectarSystem) -> Nectarine {
+        let cabs = system.world().topology().cab_count();
+        Nectarine { system, tasks: Vec::new(), next_mailbox: vec![16; cabs] }
+    }
+
+    /// Convenience: a single-HUB system with `cabs` CABs.
+    pub fn single_hub(cabs: usize, cfg: SystemConfig) -> Nectarine {
+        Nectarine::new(NectarSystem::single_hub(cabs, cfg))
+    }
+
+    /// Convenience: a `rows × cols` mesh with `cabs_per_hub` CABs each.
+    pub fn mesh(rows: usize, cols: usize, cabs_per_hub: usize, cfg: SystemConfig) -> Nectarine {
+        Nectarine::new(NectarSystem::mesh(rows, cols, cabs_per_hub, cfg))
+    }
+
+    /// The underlying system (for probes).
+    pub fn system(&self) -> &NectarSystem {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system.
+    pub fn system_mut(&mut self) -> &mut NectarSystem {
+        &mut self.system
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.system.world().now()
+    }
+
+    /// Advances the simulation by `dur`.
+    pub fn run_for(&mut self, dur: Dur) {
+        self.system.world_mut().run_for(dur);
+    }
+
+    /// Creates a task on CAB `cab` with its own receive mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cab` is out of range.
+    pub fn create_task(&mut self, name: impl Into<String>, cab: usize) -> TaskId {
+        assert!(cab < self.next_mailbox.len(), "no CAB{cab} in this system");
+        let mailbox = self.next_mailbox[cab];
+        self.next_mailbox[cab] += 1;
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task { name: name.into(), cab, mailbox });
+        id
+    }
+
+    /// The task's name.
+    pub fn task_name(&self, task: TaskId) -> &str {
+        &self.tasks[task.0].name
+    }
+
+    /// The CAB a task lives on.
+    pub fn task_cab(&self, task: TaskId) -> usize {
+        self.tasks[task.0].cab
+    }
+
+    /// The task's mailbox address (its "buffer" in CAB memory).
+    pub fn task_mailbox(&self, task: TaskId) -> u16 {
+        self.tasks[task.0].mailbox
+    }
+
+    /// Sends `data` reliably from `from` to `to` (byte-stream).
+    /// Returns the message id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both tasks live on the same CAB — co-resident tasks
+    /// share memory and do not cross the Nectar-net.
+    pub fn send(&mut self, from: TaskId, to: TaskId, data: &[u8]) -> u32 {
+        let (f, t) = (&self.tasks[from.0], &self.tasks[to.0]);
+        self.system.world_mut().send_stream_now(f.cab, t.cab, f.mailbox, t.mailbox, data)
+    }
+
+    /// Sends `data` unreliably (datagram). Returns the message id.
+    pub fn send_unreliable(&mut self, from: TaskId, to: TaskId, data: &[u8]) -> u32 {
+        let (f, t) = (&self.tasks[from.0], &self.tasks[to.0]);
+        self.system.world_mut().send_datagram_now(f.cab, t.cab, f.mailbox, t.mailbox, data)
+    }
+
+    /// Multicasts `data` to several tasks using the HUB's hardware
+    /// fan-out (§4.2.2). All destinations must share a mailbox address,
+    /// so this allocates none: it targets each task's own mailbox only
+    /// when all destination mailboxes are equal; otherwise it panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination tasks do not share one mailbox
+    /// address (create them in the same order on each CAB).
+    pub fn multicast(&mut self, from: TaskId, to: &[TaskId], data: &[u8]) {
+        assert!(!to.is_empty(), "multicast needs destinations");
+        let mailbox = self.tasks[to[0].0].mailbox;
+        assert!(
+            to.iter().all(|t| self.tasks[t.0].mailbox == mailbox),
+            "hardware multicast carries one destination mailbox address"
+        );
+        let f = &self.tasks[from.0];
+        let dsts: Vec<usize> = to.iter().map(|t| self.tasks[t.0].cab).collect();
+        let (src_cab, src_mb) = (f.cab, f.mailbox);
+        self.system.world_mut().send_multicast_now(src_cab, &dsts, src_mb, mailbox, data);
+    }
+
+    /// Non-blocking receive: the next message in the task's mailbox.
+    pub fn receive(&mut self, task: TaskId) -> Option<Message> {
+        let t = &self.tasks[task.0];
+        self.system.world_mut().mailbox_take(t.cab, t.mailbox)
+    }
+
+    /// Blocking receive: runs the simulation until a message arrives or
+    /// `timeout` elapses.
+    pub fn receive_blocking(&mut self, task: TaskId, timeout: Dur) -> Option<Message> {
+        let deadline = self.now() + timeout;
+        loop {
+            if let Some(msg) = self.receive(task) {
+                return Some(msg);
+            }
+            if self.now() >= deadline {
+                return None;
+            }
+            let progressed = self.system.world_mut().run_for(Dur::from_micros(20));
+            if progressed == 0 && self.system.world().pending_events() == 0 {
+                return self.receive(task);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> Nectarine {
+        Nectarine::single_hub(4, SystemConfig::default())
+    }
+
+    #[test]
+    fn tasks_get_distinct_mailboxes() {
+        let mut a = app();
+        let t1 = a.create_task("a", 0);
+        let t2 = a.create_task("b", 0);
+        let t3 = a.create_task("c", 1);
+        assert_ne!(a.task_mailbox(t1), a.task_mailbox(t2));
+        assert_eq!(a.task_cab(t3), 1);
+        assert_eq!(a.task_name(t1), "a");
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let mut a = app();
+        let p = a.create_task("p", 0);
+        let c = a.create_task("c", 1);
+        a.send(p, c, b"hello");
+        let msg = a.receive_blocking(c, Dur::from_millis(5)).expect("delivered");
+        assert_eq!(msg.data(), b"hello");
+        assert!(a.receive(c).is_none(), "mailbox drained");
+    }
+
+    #[test]
+    fn unreliable_send_also_arrives_on_a_clean_net() {
+        let mut a = app();
+        let p = a.create_task("p", 0);
+        let c = a.create_task("c", 1);
+        a.send_unreliable(p, c, b"dgram");
+        let msg = a.receive_blocking(c, Dur::from_millis(5)).expect("delivered");
+        assert_eq!(msg.data(), b"dgram");
+    }
+
+    #[test]
+    fn receive_times_out_when_nothing_is_sent() {
+        let mut a = app();
+        let c = a.create_task("c", 1);
+        assert!(a.receive_blocking(c, Dur::from_micros(100)).is_none());
+    }
+
+    #[test]
+    fn multicast_reaches_all_destinations() {
+        let mut a = app();
+        let p = a.create_task("p", 0);
+        // Created in the same order on each CAB: same mailbox address.
+        let c1 = a.create_task("c1", 1);
+        let c2 = a.create_task("c2", 2);
+        a.multicast(p, &[c1, c2], b"to all");
+        let m1 = a.receive_blocking(c1, Dur::from_millis(5)).expect("c1");
+        let m2 = a.receive_blocking(c2, Dur::from_millis(5)).expect("c2");
+        assert_eq!(m1.data(), b"to all");
+        assert_eq!(m2.data(), b"to all");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_multicast_mailboxes_rejected() {
+        let mut a = app();
+        let p = a.create_task("p", 0);
+        let c1 = a.create_task("c1", 1);
+        let _filler = a.create_task("filler", 2);
+        let c2 = a.create_task("c2", 2); // different mailbox index
+        a.multicast(p, &[c1, c2], b"x");
+    }
+
+    #[test]
+    fn large_messages_travel_reliably() {
+        let mut a = app();
+        let p = a.create_task("p", 0);
+        let c = a.create_task("c", 1);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        a.send(p, c, &data);
+        let msg = a.receive_blocking(c, Dur::from_millis(50)).expect("delivered");
+        assert_eq!(msg.data(), &data[..]);
+    }
+}

@@ -1,0 +1,1129 @@
+//! The world: every HUB, CAB, fiber, and protocol endpoint wired to
+//! one discrete-event engine.
+//!
+//! [`World`] is the executable form of a [`Topology`]: it owns the HUB
+//! state machines, a [`CabState`] per CAB (hardware resources, kernel
+//! scheduler, transport endpoints, datalink state), and the event
+//! queue. Workloads inject sends; the world routes items through HUBs
+//! with the paper's timing model, charges CAB CPU costs, and records
+//! every delivery, completion, and error for the experiment harness.
+
+use crate::topology::{Peer, Topology};
+use nectar_cab::board::{Cab, CabId};
+use nectar_cab::dma::Channel;
+use nectar_cab::timings::CabTimings;
+use nectar_hub::config::HubConfig;
+use nectar_hub::effects::{Effects, InternalEv};
+use nectar_hub::hub::Hub;
+use nectar_hub::id::{HubId, PortId};
+use nectar_hub::item::{Item, Packet};
+use nectar_kernel::mailbox::Mailbox;
+use nectar_kernel::thread::{Scheduler, ThreadId};
+use nectar_proto::datalink::Route;
+use nectar_proto::header::Header;
+use nectar_proto::transport::bytestream::{ByteStream, ByteStreamConfig};
+use nectar_proto::transport::datagram::Datagram;
+use nectar_proto::transport::reqresp::{ReqRespClient, ReqRespConfig, ReqRespServer};
+use nectar_proto::transport::{Action, TimerToken, TransportError};
+use nectar_sim::engine::{Engine, EventId};
+use nectar_sim::time::{Dur, Time};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// How the datalink moves data packets (DESIGN.md §5 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchingMode {
+    /// §4.2.3: per-packet `test open` commands, data, `close all`.
+    /// Flow-controlled by the HUB ready bits; the default.
+    PacketSwitched,
+    /// §4.2.1 with a one-entry connection cache: open a circuit to the
+    /// current destination and keep it; packets to the same CAB flow
+    /// with no commands at all. (A CAB has one input port at its HUB,
+    /// so at most one circuit can be open at a time — a second one
+    /// would multicast.)
+    CircuitCached,
+}
+
+/// Configuration of a whole Nectar system.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// HUB hardware parameters.
+    pub hub: HubConfig,
+    /// CAB cost model.
+    pub cab: CabTimings,
+    /// Byte-stream transport tuning.
+    pub stream: ByteStreamConfig,
+    /// Request-response transport tuning.
+    pub rpc: ReqRespConfig,
+    /// Node OS cost model (used by the node-level probes).
+    pub node: crate::node::NodeConfig,
+    /// Fiber propagation delay per link. The paper quotes latencies
+    /// "excluding the transmission delays of the optical fibers", so
+    /// the default is zero.
+    pub propagation: Dur,
+    /// Datalink switching policy.
+    pub switching: SwitchingMode,
+    /// Capacity of each auto-created mailbox, bytes.
+    pub mailbox_capacity: usize,
+    /// Datalink recovery: if the HUB's ready signal does not return
+    /// within this time (e.g. the packet's test-open command was lost),
+    /// the CAB re-arms its transmit path and lets the transport
+    /// retransmit (§6.2.1 "recovers from ... lost HUB commands").
+    pub ready_timeout: Dur,
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig {
+            hub: HubConfig::prototype(),
+            cab: CabTimings::prototype(),
+            stream: ByteStreamConfig::default(),
+            rpc: ReqRespConfig::default(),
+            node: crate::node::NodeConfig::sun_workstation(),
+            propagation: Dur::ZERO,
+            switching: SwitchingMode::PacketSwitched,
+            mailbox_capacity: 256 * 1024,
+            ready_timeout: Dur::from_millis(1),
+        }
+    }
+}
+
+/// Which protocol armed a timer (to route the expiry back).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimerSource {
+    /// The byte-stream to this peer CAB.
+    Stream(usize),
+    /// The request-response client.
+    Rpc,
+}
+
+/// A world event.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// An item's head reaches a HUB port.
+    HubItem {
+        /// HUB index.
+        hub: usize,
+        /// Arrival port.
+        port: PortId,
+        /// The item.
+        item: Item,
+    },
+    /// A flow-control ready signal reaches a HUB port.
+    HubReady {
+        /// HUB index.
+        hub: usize,
+        /// The port whose ready bit is set.
+        port: PortId,
+    },
+    /// A deferred HUB-internal transition comes due.
+    HubInternal {
+        /// HUB index.
+        hub: usize,
+        /// The transition.
+        ev: InternalEv,
+    },
+    /// An item's head reaches a CAB's fiber input.
+    CabItem {
+        /// CAB index.
+        cab: usize,
+        /// The item.
+        item: Item,
+    },
+    /// A flow-control ready signal reaches a CAB.
+    CabReadySignal {
+        /// CAB index.
+        cab: usize,
+    },
+    /// A received packet has fully DMA'd into CAB memory.
+    CabPacketReady {
+        /// CAB index.
+        cab: usize,
+        /// The packet's wire bytes (header + payload).
+        payload: Arc<[u8]>,
+    },
+    /// A protocol timer expires on a CAB.
+    CabTimer {
+        /// CAB index.
+        cab: usize,
+        /// Which protocol armed it.
+        source: TimerSource,
+        /// The protocol's token.
+        token: TimerToken,
+    },
+    /// The CAB's datalink ready-timeout fires (lost-command recovery).
+    CabReadyTimeout {
+        /// CAB index.
+        cab: usize,
+        /// Generation guard (stale timeouts are ignored).
+        gen: u64,
+    },
+    /// A scheduled application send fires.
+    AppSend {
+        /// Sending CAB index.
+        cab: usize,
+        /// What to send.
+        send: AppSend,
+    },
+}
+
+/// An application-level send request.
+#[derive(Clone, Debug)]
+pub enum AppSend {
+    /// Reliable byte-stream message.
+    Stream {
+        /// Destination CAB.
+        dst: usize,
+        /// Sending mailbox.
+        src_mailbox: u16,
+        /// Destination mailbox.
+        dst_mailbox: u16,
+        /// Payload.
+        data: Arc<[u8]>,
+    },
+    /// Unreliable datagram.
+    Datagram {
+        /// Destination CAB.
+        dst: usize,
+        /// Sending mailbox.
+        src_mailbox: u16,
+        /// Destination mailbox.
+        dst_mailbox: u16,
+        /// Payload.
+        data: Arc<[u8]>,
+    },
+    /// Request-response call.
+    Rpc {
+        /// Destination CAB.
+        dst: usize,
+        /// Local mailbox for the response.
+        reply_mailbox: u16,
+        /// Remote service mailbox.
+        service_mailbox: u16,
+        /// Request payload.
+        data: Arc<[u8]>,
+    },
+    /// Hardware multicast datagram (§4.2.2/4.2.4).
+    Multicast {
+        /// Destination CABs.
+        dsts: Vec<usize>,
+        /// Sending mailbox.
+        src_mailbox: u16,
+        /// Destination mailbox on every receiver.
+        dst_mailbox: u16,
+        /// Payload.
+        data: Arc<[u8]>,
+    },
+}
+
+/// One recorded message delivery (receiver side, after the application
+/// thread has been handed the message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving CAB.
+    pub cab: usize,
+    /// Receiving mailbox.
+    pub mailbox: u16,
+    /// Message id (per sender protocol instance).
+    pub msg_id: u64,
+    /// Payload length.
+    pub len: usize,
+    /// When the application thread had the message.
+    pub at: Time,
+}
+
+/// Per-CAB event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CabCounters {
+    /// Data packets handed to the fiber.
+    pub packets_tx: u64,
+    /// Data packets received (pre-decode).
+    pub packets_rx: u64,
+    /// Received packets dropped for checksum/format errors.
+    pub corrupted_rx: u64,
+    /// Input-queue overruns (upcall missed its §6.2.1 deadline).
+    pub overruns: u64,
+    /// Stray items (commands/close-alls reaching the CAB).
+    pub strays: u64,
+    /// Circuit opens issued (CircuitCached mode).
+    pub circuit_opens: u64,
+    /// Mailbox appends refused for lack of space.
+    pub mailbox_rejects: u64,
+    /// Datalink ready-timeouts (lost-command recoveries).
+    pub ready_timeouts: u64,
+}
+
+struct CabState {
+    hw: Cab,
+    sched: Scheduler,
+    app_thread: ThreadId,
+    fiber_ready: bool,
+    /// Generation counter guarding ready-timeout staleness.
+    ready_gen: u64,
+    fiber_free: Time,
+    /// Cumulative time this CAB's outgoing fiber has been busy.
+    fiber_tx_busy: Dur,
+    tx_bursts: VecDeque<Vec<Item>>,
+    streams: HashMap<usize, ByteStream>,
+    datagram: Datagram,
+    rpc_client: ReqRespClient,
+    rpc_server: ReqRespServer,
+    /// CircuitCached mode: the currently open circuit, if any.
+    open_circuit: Option<(usize, Route)>,
+    mailboxes: HashMap<u16, Mailbox>,
+    timers: HashMap<(TimerSource, u64), EventId>,
+    next_packet_id: u64,
+    counters: CabCounters,
+}
+
+/// The assembled, runnable Nectar system.
+pub struct World {
+    cfg: SystemConfig,
+    topo: Topology,
+    engine: Engine<Ev>,
+    hubs: Vec<Hub>,
+    cabs: Vec<CabState>,
+    /// Every message delivery, in order.
+    pub deliveries: Vec<Delivery>,
+    /// Sender-side completions: `(cab, msg_id, at)`.
+    pub completions: Vec<(usize, u32, Time)>,
+    /// Transport errors: `(cab, error, at)`.
+    pub errors: Vec<(usize, TransportError, Time)>,
+    /// Replies received by CABs (circuit acks, status answers).
+    replies: Vec<(usize, nectar_hub::command::Reply, Time)>,
+    /// Fault injection: packet loss/corruption at CAB arrival.
+    faults: Option<FaultInjector>,
+    /// Fault injection: HUB command loss in flight.
+    cmd_faults: Option<CommandFaultInjector>,
+    /// Packets destroyed by fault injection.
+    pub faults_injected: u64,
+}
+
+struct FaultInjector {
+    drop_probability: f64,
+    corrupt_probability: f64,
+    rng: nectar_sim::rng::Rng,
+}
+
+struct CommandFaultInjector {
+    drop_probability: f64,
+    rng: nectar_sim::rng::Rng,
+}
+
+impl World {
+    /// Builds a world over `topo`.
+    pub fn new(topo: Topology, cfg: SystemConfig) -> World {
+        let hubs = (0..topo.hub_count())
+            .map(|i| Hub::new(HubId::new(i as u8), cfg.hub.clone()))
+            .collect();
+        let cabs = (0..topo.cab_count())
+            .map(|i| {
+                let mut sched = Scheduler::new(cfg.cab.clone());
+                let app_thread = sched.spawn("application");
+                let idle = sched.spawn("idle");
+                // The CAB boots into its idle loop; the first dispatch of
+                // any other thread pays a real switch.
+                sched.assume_running(idle);
+                CabState {
+                    hw: Cab::new(CabId::new(i as u16), cfg.cab.clone()),
+                    sched,
+                    app_thread,
+                    fiber_ready: true,
+                    ready_gen: 0,
+                    fiber_free: Time::ZERO,
+                    fiber_tx_busy: Dur::ZERO,
+                    tx_bursts: VecDeque::new(),
+                    streams: HashMap::new(),
+                    datagram: Datagram::new(CabId::new(i as u16)),
+                    rpc_client: ReqRespClient::new(CabId::new(i as u16), cfg.rpc),
+                    rpc_server: ReqRespServer::new(CabId::new(i as u16), cfg.rpc),
+                    open_circuit: None,
+                    mailboxes: HashMap::new(),
+                    timers: HashMap::new(),
+                    next_packet_id: (i as u64) << 40,
+                    counters: CabCounters::default(),
+                }
+            })
+            .collect();
+        World {
+            cfg,
+            topo,
+            engine: Engine::new(),
+            hubs,
+            cabs,
+            deliveries: Vec::new(),
+            completions: Vec::new(),
+            errors: Vec::new(),
+            replies: Vec::new(),
+            faults: None,
+            cmd_faults: None,
+            faults_injected: 0,
+        }
+    }
+
+    /// Arms fault injection: arriving packets are dropped with
+    /// `drop_probability` or bit-flipped with `corrupt_probability`
+    /// (checksum-detected at the receiver), deterministically from
+    /// `seed`. The transport protocols must recover (E10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn inject_faults(&mut self, drop_probability: f64, corrupt_probability: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&drop_probability), "probability in [0,1]");
+        assert!((0.0..=1.0).contains(&corrupt_probability), "probability in [0,1]");
+        self.faults = Some(FaultInjector {
+            drop_probability,
+            corrupt_probability,
+            rng: nectar_sim::rng::Rng::seed_from(seed),
+        });
+    }
+
+    /// Arms HUB-command loss: each command item arriving at a HUB is
+    /// silently discarded with `drop_probability`. The datalink's
+    /// stuck-item and ready-timeout recovery paths must keep traffic
+    /// flowing (§6.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn inject_command_loss(&mut self, drop_probability: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&drop_probability), "probability in [0,1]");
+        self.cmd_faults = Some(CommandFaultInjector {
+            drop_probability,
+            rng: nectar_sim::rng::Rng::seed_from(seed),
+        });
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The topology this world runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// The HUB at `idx` (for counters and status assertions).
+    pub fn hub(&self, idx: usize) -> &Hub {
+        &self.hubs[idx]
+    }
+
+    /// Enables the instrumentation-board trace on HUB `idx` (§4.1's
+    /// plug-in monitor). Read it back via [`hub`](World::hub).
+    pub fn enable_hub_trace(&mut self, idx: usize) {
+        self.hubs[idx].trace_mut().set_enabled(true);
+    }
+
+    /// Replies received by each CAB, in arrival order: `(cab, reply,
+    /// at)`. Populated by circuit-open acks and `query status` answers.
+    pub fn replies(&self) -> &[(usize, nectar_hub::command::Reply, Time)] {
+        &self.replies
+    }
+
+    /// Interrogates a HUB's status table from `cab` (§4.1: "the status
+    /// table ... can be interrogated by the CABs"). The three-byte
+    /// `query status` command travels up the CAB's fiber; the reply
+    /// comes back on the reverse path and lands in
+    /// [`replies`](World::replies).
+    ///
+    /// For HUBs beyond the first, an open route must exist for the
+    /// reply to traverse (§4.2.1) — queries about the first HUB always
+    /// work.
+    pub fn query_hub_status(&mut self, cab: usize, hub: HubId, port: PortId) {
+        let now = self.now();
+        let cmd = nectar_hub::command::Command::user(
+            nectar_hub::command::UserOp::QueryStatus,
+            hub,
+            port,
+        );
+        let cost = self.cfg.cab.datalink_packet;
+        let app = self.cabs[cab].app_thread;
+        self.cabs[cab].sched.assume_running(app);
+        let (_, done) = self.cabs[cab].sched.run(now, app, cost);
+        self.enqueue_burst(cab, vec![cmd.into()], done);
+    }
+
+    /// Counters for CAB `idx`.
+    pub fn cab_counters(&self, idx: usize) -> CabCounters {
+        self.cabs[idx].counters
+    }
+
+    /// The kernel scheduler of CAB `idx` (switch/interrupt statistics).
+    pub fn cab_scheduler(&self, idx: usize) -> &Scheduler {
+        &self.cabs[idx].sched
+    }
+
+    /// Fraction of elapsed time CAB `idx`'s outgoing fiber carried
+    /// bits (raw wire occupancy, headers and commands included).
+    pub fn fiber_utilization(&self, idx: usize) -> f64 {
+        let elapsed = self.now().saturating_since(Time::ZERO);
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.cabs[idx].fiber_tx_busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Byte-stream statistics from `src` towards `dst`, if any traffic
+    /// has flowed.
+    pub fn stream_stats(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> Option<nectar_proto::transport::bytestream::ByteStreamStats> {
+        self.cabs[src].streams.get(&dst).map(|s| s.stats())
+    }
+
+    // ---------------------------------------------------------------
+    // Running
+    // ---------------------------------------------------------------
+
+    /// Processes events until the queue drains or the clock passes
+    /// `deadline`; either way the clock ends at `deadline` (or later if
+    /// the last event ran past it). Returns the number of events
+    /// processed.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut n = 0;
+        while let Some(at) = self.engine.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let ev = self.engine.step().expect("peeked");
+            self.dispatch(ev);
+            n += 1;
+        }
+        if self.engine.now() < deadline {
+            self.engine.advance_to(deadline);
+        }
+        n
+    }
+
+    /// Live events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.engine.pending()
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.engine.peek_time()
+    }
+
+    /// Runs for `dur` beyond the current clock.
+    pub fn run_for(&mut self, dur: Dur) -> u64 {
+        let deadline = self.now() + dur;
+        self.run_until(deadline)
+    }
+
+    /// Runs until idle or `deadline`, whichever first.
+    pub fn run_to_quiescence(&mut self, deadline: Time) -> u64 {
+        self.run_until(deadline)
+    }
+
+    // ---------------------------------------------------------------
+    // Application API
+    // ---------------------------------------------------------------
+
+    /// Schedules an application send at absolute time `at`.
+    pub fn schedule_send(&mut self, at: Time, cab: usize, send: AppSend) {
+        self.engine.schedule_at(at, Ev::AppSend { cab, send });
+    }
+
+    /// Sends a reliable byte-stream message right now; returns its
+    /// message id (scoped to the `src`→`dst` stream).
+    pub fn send_stream_now(
+        &mut self,
+        src: usize,
+        dst: usize,
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+    ) -> u32 {
+        let now = self.now();
+        self.do_stream_send(now, src, dst, src_mailbox, dst_mailbox, data)
+    }
+
+    /// Sends an unreliable datagram right now; returns its message id.
+    pub fn send_datagram_now(
+        &mut self,
+        src: usize,
+        dst: usize,
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+    ) -> u32 {
+        let now = self.now();
+        self.do_datagram_send(now, src, dst, src_mailbox, dst_mailbox, data)
+    }
+
+    /// Issues a request-response call right now; returns the
+    /// transaction id.
+    pub fn send_rpc_now(
+        &mut self,
+        src: usize,
+        dst: usize,
+        reply_mailbox: u16,
+        service_mailbox: u16,
+        data: &[u8],
+    ) -> u32 {
+        let now = self.now();
+        self.do_rpc_send(now, src, dst, reply_mailbox, service_mailbox, data)
+    }
+
+    /// Sends a hardware multicast datagram right now.
+    pub fn send_multicast_now(
+        &mut self,
+        src: usize,
+        dsts: &[usize],
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+    ) {
+        let now = self.now();
+        self.do_multicast_send(now, src, dsts, src_mailbox, dst_mailbox, data);
+    }
+
+    /// Answers a pending RPC (the application on `cab` responding to
+    /// `client`'s transaction `tx`).
+    pub fn rpc_respond_now(&mut self, cab: usize, client: usize, tx: u32, data: &[u8]) -> bool {
+        let now = self.now();
+        let mut actions = Vec::new();
+        let ok = self.cabs[cab].rpc_server.respond(
+            now,
+            CabId::new(client as u16),
+            tx,
+            data,
+            &mut actions,
+        );
+        self.exec_actions(cab, now, None, true, actions);
+        ok
+    }
+
+    /// Takes the next message out of a mailbox (application receive).
+    pub fn mailbox_take(&mut self, cab: usize, mailbox: u16) -> Option<nectar_kernel::mailbox::Message> {
+        self.cabs[cab].mailboxes.get_mut(&mailbox)?.take_next()
+    }
+
+    // ---------------------------------------------------------------
+    // Dispatch
+    // ---------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        let now = self.engine.now();
+        match ev {
+            Ev::HubItem { hub, port, item } => {
+                if let (Item::Command(_), Some(f)) = (&item, &mut self.cmd_faults) {
+                    if f.rng.chance(f.drop_probability) {
+                        self.faults_injected += 1;
+                        return;
+                    }
+                }
+                let mut fx = Effects::new();
+                self.hubs[hub].item_arrives(now, port, item, &mut fx);
+                self.apply_hub_effects(hub, fx);
+            }
+            Ev::HubReady { hub, port } => {
+                let mut fx = Effects::new();
+                self.hubs[hub].ready_signal_arrives(now, port, &mut fx);
+                self.apply_hub_effects(hub, fx);
+            }
+            Ev::HubInternal { hub, ev } => {
+                let mut fx = Effects::new();
+                self.hubs[hub].internal(now, ev, &mut fx);
+                self.apply_hub_effects(hub, fx);
+            }
+            Ev::CabItem { cab, item } => self.cab_item(now, cab, item),
+            Ev::CabReadySignal { cab } => {
+                self.cabs[cab].fiber_ready = true;
+                self.cabs[cab].ready_gen += 1; // invalidate pending timeout
+                self.try_flush(cab, now);
+            }
+            Ev::CabReadyTimeout { cab, gen } => {
+                let cs = &mut self.cabs[cab];
+                if cs.ready_gen == gen && !cs.fiber_ready {
+                    // The ready signal never came back: a command (or
+                    // the packet itself) was lost. Re-arm and let the
+                    // transport's retransmission recover.
+                    cs.fiber_ready = true;
+                    cs.ready_gen += 1;
+                    cs.counters.ready_timeouts += 1;
+                    self.try_flush(cab, now);
+                }
+            }
+            Ev::CabPacketReady { cab, payload } => self.cab_packet_ready(now, cab, payload),
+            Ev::CabTimer { cab, source, token } => {
+                self.cabs[cab].timers.remove(&(source, token.0));
+                let t = self.cfg.cab.timer_op;
+                let (_, done) = self.cabs[cab].sched.run_interrupt(now, t);
+                let mut actions = Vec::new();
+                match source {
+                    TimerSource::Stream(peer) => {
+                        if let Some(s) = self.cabs[cab].streams.get_mut(&peer) {
+                            s.on_timer(done, token, &mut actions);
+                        }
+                    }
+                    TimerSource::Rpc => {
+                        self.cabs[cab].rpc_client.on_timer(done, token, &mut actions)
+                    }
+                }
+                self.exec_actions(cab, done, Some(source), false, actions);
+            }
+            Ev::AppSend { cab, send } => match send {
+                AppSend::Stream { dst, src_mailbox, dst_mailbox, data } => {
+                    self.do_stream_send(now, cab, dst, src_mailbox, dst_mailbox, &data);
+                }
+                AppSend::Datagram { dst, src_mailbox, dst_mailbox, data } => {
+                    self.do_datagram_send(now, cab, dst, src_mailbox, dst_mailbox, &data);
+                }
+                AppSend::Rpc { dst, reply_mailbox, service_mailbox, data } => {
+                    self.do_rpc_send(now, cab, dst, reply_mailbox, service_mailbox, &data);
+                }
+                AppSend::Multicast { dsts, src_mailbox, dst_mailbox, data } => {
+                    self.do_multicast_send(now, cab, &dsts, src_mailbox, dst_mailbox, &data);
+                }
+            },
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Sends
+    // ---------------------------------------------------------------
+
+    fn do_stream_send(
+        &mut self,
+        now: Time,
+        src: usize,
+        dst: usize,
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+    ) -> u32 {
+        assert_ne!(src, dst, "a CAB does not message itself over the net");
+        let cab_id = CabId::new(src as u16);
+        let stream_cfg = self.cfg.stream;
+        let cs = &mut self.cabs[src];
+        // The application thread is the caller (procedure-call
+        // invocation, §6.2.2): it is already running.
+        let app = cs.app_thread;
+        cs.sched.assume_running(app);
+        let mut actions = Vec::new();
+        let msg_id = cs
+            .streams
+            .entry(dst)
+            .or_insert_with(|| ByteStream::new(cab_id, CabId::new(dst as u16), stream_cfg))
+            .send_message(now, src_mailbox, dst_mailbox, data, &mut actions);
+        self.exec_actions(src, now, Some(TimerSource::Stream(dst)), true, actions);
+        msg_id
+    }
+
+    fn do_datagram_send(
+        &mut self,
+        now: Time,
+        src: usize,
+        dst: usize,
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+    ) -> u32 {
+        assert_ne!(src, dst, "a CAB does not message itself over the net");
+        let cs = &mut self.cabs[src];
+        let app = cs.app_thread;
+        cs.sched.assume_running(app);
+        let mut actions = Vec::new();
+        let msg_id = cs.datagram.send(
+            now,
+            CabId::new(dst as u16),
+            src_mailbox,
+            dst_mailbox,
+            data,
+            &mut actions,
+        );
+        self.exec_actions(src, now, None, true, actions);
+        msg_id
+    }
+
+    fn do_rpc_send(
+        &mut self,
+        now: Time,
+        src: usize,
+        dst: usize,
+        reply_mailbox: u16,
+        service_mailbox: u16,
+        data: &[u8],
+    ) -> u32 {
+        assert_ne!(src, dst, "a CAB does not call itself over the net");
+        let cs = &mut self.cabs[src];
+        let app = cs.app_thread;
+        cs.sched.assume_running(app);
+        let mut actions = Vec::new();
+        let tx = cs.rpc_client.call(
+            now,
+            CabId::new(dst as u16),
+            reply_mailbox,
+            service_mailbox,
+            data,
+            &mut actions,
+        );
+        self.exec_actions(src, now, Some(TimerSource::Rpc), true, actions);
+        tx
+    }
+
+    fn do_multicast_send(
+        &mut self,
+        now: Time,
+        src: usize,
+        dsts: &[usize],
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+    ) {
+        let mc = self
+            .topo
+            .multicast_route(src, dsts)
+            .expect("multicast destinations must be reachable");
+        // One datagram header; receivers deliver by mailbox address.
+        let header = Header {
+            src_mailbox,
+            dst_mailbox,
+            msg_id: self.cabs[src].datagram.stats().0 as u32,
+            payload_len: data.len() as u16,
+            ..Header::new(
+                nectar_proto::header::PacketKind::Datagram,
+                CabId::new(src as u16),
+                // dst_cab is advisory for multicast; receivers don't check.
+                CabId::new(dsts[0] as u16),
+            )
+        };
+        let wire = header.encode_with(data);
+        let t = self.cfg.cab.send_path();
+        let app = self.cabs[src].app_thread;
+        self.cabs[src].sched.assume_running(app);
+        let (_, done) = self.cabs[src].sched.run(now, app, t);
+        let packet = self.next_packet(src, wire);
+        let items = mc.packet_switched_items(packet, self.cfg.hub.queue_capacity);
+        self.cabs[src].counters.packets_tx += 1;
+        self.enqueue_burst(src, items, done);
+    }
+
+    fn next_packet(&mut self, cab: usize, wire: Vec<u8>) -> Packet {
+        let id = self.cabs[cab].next_packet_id;
+        self.cabs[cab].next_packet_id += 1;
+        Packet::new(id, wire)
+    }
+
+    // ---------------------------------------------------------------
+    // Action execution
+    // ---------------------------------------------------------------
+
+    /// Executes transport actions for `cab`. `app_context` selects the
+    /// CPU charging: `true` for procedure-call sends from the
+    /// application thread, `false` for interrupt-context activity
+    /// (acks, retransmissions, timer handlers).
+    fn exec_actions(
+        &mut self,
+        cab: usize,
+        now: Time,
+        source: Option<TimerSource>,
+        app_context: bool,
+        actions: Vec<Action>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { header, payload } => {
+                    let cost_send = self.cfg.cab.send_path();
+                    let cost_int = self.cfg.cab.datalink_packet + self.cfg.cab.dma_setup;
+                    let cs = &mut self.cabs[cab];
+                    let done = if app_context {
+                        let app = cs.app_thread;
+                        cs.sched.run(now, app, cost_send).1
+                    } else {
+                        cs.sched.run_interrupt(now, cost_int).1
+                    };
+                    let wire = header.encode_with(&payload);
+                    let dst = header.dst_cab.index();
+                    self.cab_send_packet(cab, dst, wire, done);
+                }
+                Action::Deliver { mailbox, msg } => {
+                    let mailbox_cap = self.cfg.mailbox_capacity;
+                    let op = self.cfg.cab.mailbox_op;
+                    let cs = &mut self.cabs[cab];
+                    let app = cs.app_thread;
+                    let (_, end) = cs.sched.run(now, app, op);
+                    let slot = cs
+                        .mailboxes
+                        .entry(mailbox)
+                        .or_insert_with(|| Mailbox::new(format!("mb{mailbox}"), mailbox_cap));
+                    let (id, len) = (msg.id(), msg.len());
+                    if slot.append(msg).is_err() {
+                        cs.counters.mailbox_rejects += 1;
+                        continue;
+                    }
+                    self.deliveries.push(Delivery { cab, mailbox, msg_id: id, len, at: end });
+                }
+                Action::SetTimer { token, delay } => {
+                    let src = source.expect("timer from a timerless protocol");
+                    let id = self.engine.schedule_at(
+                        now.max(self.engine.now()) + delay,
+                        Ev::CabTimer { cab, source: src, token },
+                    );
+                    self.cabs[cab].timers.insert((src, token.0), id);
+                }
+                Action::CancelTimer { token } => {
+                    let src = source.expect("timer from a timerless protocol");
+                    if let Some(id) = self.cabs[cab].timers.remove(&(src, token.0)) {
+                        self.engine.cancel(id);
+                    }
+                }
+                Action::Complete { msg_id } => self.completions.push((cab, msg_id, now)),
+                Action::Error(e) => self.errors.push((cab, e, now)),
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Datalink: CAB -> fiber
+    // ---------------------------------------------------------------
+
+    fn cab_send_packet(&mut self, cab: usize, dst: usize, wire: Vec<u8>, ready: Time) {
+        let packet = self.next_packet(cab, wire);
+        let queue_cap = self.cfg.hub.queue_capacity;
+        let items: Vec<Item> = match self.cfg.switching {
+            SwitchingMode::PacketSwitched => {
+                let route = self.topo.route(cab, dst).expect("destination must be reachable");
+                route.packet_switched_items(packet, queue_cap)
+            }
+            SwitchingMode::CircuitCached => {
+                let mut items = Vec::new();
+                let reopen = match &self.cabs[cab].open_circuit {
+                    Some((open_dst, _)) if *open_dst == dst => false,
+                    Some(_) => {
+                        // Tear down the old circuit first: a CAB has one
+                        // input port, a second circuit would multicast.
+                        items.push(Item::CloseAll);
+                        true
+                    }
+                    None => true,
+                };
+                if reopen {
+                    let route = self.topo.route(cab, dst).expect("destination must be reachable");
+                    // Data follows the opens in FIFO order through the
+                    // same queues, so no reply wait is needed: the HUB
+                    // serializes the opens ahead of the packet.
+                    items.extend(route.circuit_open_items());
+                    self.cabs[cab].counters.circuit_opens += 1;
+                    self.cabs[cab].open_circuit = Some((dst, route));
+                }
+                items.push(packet.into());
+                items
+            }
+        };
+        self.cabs[cab].counters.packets_tx += 1;
+        self.enqueue_burst(cab, items, ready);
+    }
+
+    fn enqueue_burst(&mut self, cab: usize, items: Vec<Item>, ready: Time) {
+        // Small control packets (acknowledgements, RPC headers) jump
+        // ahead of queued bulk data: an ack stuck behind a window of
+        // 1 KB packets on the shared fiber starves the reverse stream
+        // into spurious go-back-N retransmission.
+        let payload: usize = items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Packet(p) => Some(p.len()),
+                _ => None,
+            })
+            .sum();
+        if payload <= 128 && !self.cabs[cab].tx_bursts.is_empty() {
+            self.cabs[cab].tx_bursts.push_front(items);
+        } else {
+            self.cabs[cab].tx_bursts.push_back(items);
+        }
+        self.try_flush(cab, ready);
+    }
+
+    fn try_flush(&mut self, cab: usize, now: Time) {
+        let (hub, port) = self.topo.cab_attachment(cab);
+        let prop = self.cfg.propagation;
+        loop {
+            let Some(front) = self.cabs[cab].tx_bursts.front() else { break };
+            let has_packet = front.iter().any(|i| matches!(i, Item::Packet(_)));
+            // The CAB-side ready bit is part of the same hardware
+            // flow-control system as the HUB's (§4.2.3); the ablation
+            // switches both off.
+            if has_packet && self.cfg.hub.flow_control && !self.cabs[cab].fiber_ready {
+                break;
+            }
+            if has_packet {
+                // One packet outstanding toward the HUB until it signals
+                // that its input queue drained (§4.2.3 flow control).
+                self.cabs[cab].fiber_ready = false;
+                self.cabs[cab].ready_gen += 1;
+                let gen = self.cabs[cab].ready_gen;
+                let at = now.max(self.engine.now()) + self.cfg.ready_timeout;
+                self.engine.schedule_at(at, Ev::CabReadyTimeout { cab, gen });
+            }
+            let burst = self.cabs[cab].tx_bursts.pop_front().expect("front exists");
+            for item in burst {
+                let head = now.max(self.cabs[cab].fiber_free);
+                let wire = self.cfg.hub.wire_time(item.wire_bytes());
+                self.cabs[cab].fiber_free = head + wire;
+                self.cabs[cab].fiber_tx_busy += wire;
+                self.engine.schedule_at(head + prop, Ev::HubItem { hub, port, item });
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // HUB effects -> events
+    // ---------------------------------------------------------------
+
+    fn apply_hub_effects(&mut self, hub: usize, fx: Effects) {
+        let prop = self.cfg.propagation;
+        for em in fx.emissions {
+            match self.topo.peer(hub, em.port) {
+                Peer::Hub(h2, p2) => {
+                    self.engine
+                        .schedule_at(em.at + prop, Ev::HubItem { hub: h2, port: p2, item: em.item });
+                }
+                Peer::Cab(c) => {
+                    self.engine.schedule_at(em.at + prop, Ev::CabItem { cab: c, item: em.item });
+                }
+                Peer::None => { /* unwired port: the item vanishes */ }
+            }
+        }
+        for rs in fx.ready_signals {
+            match self.topo.peer(hub, rs.port) {
+                Peer::Hub(h2, p2) => {
+                    self.engine.schedule_at(rs.at + prop, Ev::HubReady { hub: h2, port: p2 });
+                }
+                Peer::Cab(c) => {
+                    self.engine.schedule_at(rs.at + prop, Ev::CabReadySignal { cab: c });
+                }
+                Peer::None => {}
+            }
+        }
+        for int in fx.internal {
+            self.engine.schedule_at(int.at, Ev::HubInternal { hub, ev: int.ev });
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // CAB receive path
+    // ---------------------------------------------------------------
+
+    fn cab_item(&mut self, now: Time, cab: usize, item: Item) {
+        let item = match (item, &mut self.faults) {
+            (Item::Packet(p), Some(f)) => {
+                if f.rng.chance(f.drop_probability) {
+                    // The packet vanishes; flow control must still be
+                    // released or the sender wedges.
+                    self.faults_injected += 1;
+                    let (hub, port) = self.topo.cab_attachment(cab);
+                    let prop = self.cfg.propagation;
+                    self.engine.schedule_at(now + prop, Ev::HubReady { hub, port });
+                    return;
+                }
+                if !p.is_empty() && f.rng.chance(f.corrupt_probability) {
+                    self.faults_injected += 1;
+                    let mut bytes = p.data().to_vec();
+                    let idx = f.rng.range(0..=(bytes.len() - 1) as u64) as usize;
+                    bytes[idx] ^= 1 << f.rng.range(0..=7);
+                    Item::Packet(Packet::new(p.id(), bytes))
+                } else {
+                    Item::Packet(p)
+                }
+            }
+            (item, _) => item,
+        };
+        match item {
+            Item::Packet(p) => {
+                let size = p.wire_bytes();
+                let recv = self.cfg.cab.recv_path();
+                let wire_dur = self.cfg.hub.wire_time(size);
+                let prop = self.cfg.propagation;
+                let (hub, port) = self.topo.cab_attachment(cab);
+                let cs = &mut self.cabs[cab];
+                cs.counters.packets_rx += 1;
+                // §6.2.1: the start-of-packet interrupt runs the upcall
+                // chain; the DMA must start before the 1 KB input queue
+                // fills.
+                let (_, handler_done) = cs.sched.run_interrupt(now, recv);
+                let deadline = cs.hw.fiber.drain_deadline(now, size);
+                if handler_done > deadline {
+                    cs.hw.fiber.record_overrun();
+                    cs.counters.overruns += 1;
+                    // The queue overran; the packet is lost. Free the
+                    // flow-control path so the network is not wedged.
+                    self.engine
+                        .schedule_at(handler_done + prop, Ev::HubReady { hub, port });
+                    return;
+                }
+                // The DMA drains the input queue concurrently with the
+                // arrival: the packet is in CAB memory when the last
+                // byte has crossed the fiber and the handler has set up
+                // the destination (whichever is later).
+                let xfer = cs.hw.dma.start(now, Channel::FiberIn, p.len());
+                let done = xfer.complete.max(now + wire_dur).max(handler_done);
+                let payload: Arc<[u8]> = Arc::from(p.data().to_vec());
+                // The packet emerges from the CAB input queue when the
+                // DMA starts draining it: restore the HUB's ready bit.
+                self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
+                self.engine.schedule_at(done, Ev::CabPacketReady { cab, payload });
+            }
+            Item::Reply(reply) => {
+                // Circuit-open acks and status replies: the datalink
+                // notes them; our send path does not block on them.
+                let t = self.cfg.cab.datalink_packet;
+                self.cabs[cab].sched.run_interrupt(now, t);
+                self.replies.push((cab, reply, now));
+            }
+            Item::Command(_) | Item::CloseAll => {
+                // `close all` trailing a packet-switched transfer, or a
+                // multicast command that leaked to a leaf: discard.
+                self.cabs[cab].counters.strays += 1;
+            }
+        }
+    }
+
+    fn cab_packet_ready(&mut self, now: Time, cab: usize, payload: Arc<[u8]>) {
+        use nectar_proto::header::PacketKind;
+        let decoded = Header::decode(&payload);
+        let Ok((header, body)) = decoded else {
+            self.cabs[cab].counters.corrupted_rx += 1;
+            return;
+        };
+        let peer = header.src_cab.index();
+        let mut actions = Vec::new();
+        let source = match header.kind {
+            PacketKind::Datagram => {
+                self.cabs[cab].datagram.on_packet(now, &header, body, &mut actions);
+                None
+            }
+            PacketKind::Data | PacketKind::Ack => {
+                let local = CabId::new(cab as u16);
+                let stream_cfg = self.cfg.stream;
+                self.cabs[cab]
+                    .streams
+                    .entry(peer)
+                    .or_insert_with(|| ByteStream::new(local, header.src_cab, stream_cfg))
+                    .on_packet(now, &header, body, &mut actions);
+                Some(TimerSource::Stream(peer))
+            }
+            PacketKind::Request => {
+                self.cabs[cab].rpc_server.on_packet(now, &header, body, &mut actions);
+                None
+            }
+            PacketKind::Response => {
+                self.cabs[cab].rpc_client.on_packet(now, &header, body, &mut actions);
+                Some(TimerSource::Rpc)
+            }
+        };
+        self.exec_actions(cab, now, source, false, actions);
+    }
+}

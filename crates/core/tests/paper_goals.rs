@@ -1,0 +1,310 @@
+//! End-to-end tests pinning the paper's quantitative goals (§2.3) and
+//! the behaviour of the assembled system.
+
+use nectar_core::prelude::*;
+use nectar_sim::time::{Dur, Time};
+
+fn default_system(cabs: usize) -> NectarSystem {
+    NectarSystem::single_hub(cabs, SystemConfig::default())
+}
+
+// ------------------------------------------------------------------
+// §2.3 latency goals (E03)
+// ------------------------------------------------------------------
+
+#[test]
+fn cab_to_cab_latency_under_30_microseconds() {
+    let mut sys = default_system(4);
+    let report = sys.measure_cab_to_cab(0, 1, 64);
+    let us = report.latency.as_micros_f64();
+    assert!(us < 30.0, "paper goal: <30 us CAB-to-CAB, measured {us:.2}");
+    assert!(us > 5.0, "a sub-5 us result would mean costs are not being charged");
+}
+
+#[test]
+fn node_to_node_latency_under_100_microseconds() {
+    let mut sys = default_system(4);
+    let report = sys.measure_node_to_node(0, 1, 64, NodeInterface::SharedMemory);
+    let us = report.latency.as_micros_f64();
+    assert!(us < 100.0, "paper goal: <100 us node-to-node, measured {us:.2}");
+    assert!(us > 20.0, "node path must cost more than the bare CAB path");
+}
+
+#[test]
+fn hub_connection_latency_under_1_microsecond() {
+    // §2.3: "the latency to establish a connection through a single HUB
+    // should be under 1 microsecond". Setup + first byte is 700 ns.
+    let cfg = SystemConfig::default();
+    let setup = cfg.hub.connect_latency() + cfg.hub.transit;
+    assert!(setup < Dur::from_micros(1), "connection setup {setup}");
+}
+
+#[test]
+fn interface_hierarchy_orders_latency() {
+    let mut sys = default_system(4);
+    let sm = sys.measure_node_to_node(0, 1, 256, NodeInterface::SharedMemory).latency;
+    let so = sys.measure_node_to_node(2, 3, 256, NodeInterface::Socket).latency;
+    let mut sys2 = default_system(4);
+    let dr = sys2.measure_node_to_node(0, 1, 256, NodeInterface::Driver).latency;
+    assert!(sm < so && so < dr, "§6.2.3 ordering: {sm} < {so} < {dr}");
+}
+
+// ------------------------------------------------------------------
+// Throughput (E01 pipelining, E04 aggregate)
+// ------------------------------------------------------------------
+
+#[test]
+fn bulk_stream_approaches_fiber_rate() {
+    let mut sys = default_system(2);
+    let report = sys.measure_stream_throughput(0, 1, 512 * 1024, 8192);
+    let mbit = report.rate.as_mbit_per_sec_f64();
+    assert!(mbit > 80.0, "bulk stream should approach 100 Mbit/s, got {mbit:.1}");
+    assert!(mbit <= 100.0, "cannot beat the fiber, got {mbit:.1}");
+}
+
+#[test]
+fn ring_traffic_aggregates_across_the_crossbar() {
+    // 8 CABs each streaming to their neighbour: the crossbar carries
+    // all streams concurrently, so aggregate delivered bandwidth is
+    // roughly 8 x the single-stream rate.
+    let mut sys = default_system(8);
+    let report = sys.measure_ring_aggregate(128 * 1024, 8192);
+    let mbit = report.rate.as_mbit_per_sec_f64();
+    assert!(mbit > 8.0 * 80.0, "aggregate should scale with ports, got {mbit:.0} Mbit/s");
+}
+
+// ------------------------------------------------------------------
+// RPC (E10)
+// ------------------------------------------------------------------
+
+#[test]
+fn rpc_round_trip_is_roughly_twice_one_way() {
+    let mut sys = default_system(2);
+    let one_way = sys.measure_cab_to_cab(0, 1, 64).latency;
+    let rtt = sys.measure_rpc_rtt(0, 1, 64, 64);
+    assert!(rtt > one_way, "a round trip includes two crossings");
+    assert!(rtt < one_way * 4, "rtt {rtt} should be near 2x one-way {one_way}");
+}
+
+// ------------------------------------------------------------------
+// Multicast (E06)
+// ------------------------------------------------------------------
+
+#[test]
+fn hardware_multicast_beats_sequential_unicast() {
+    let mut sys = default_system(6);
+    let (mc, uc) = sys.measure_multicast_vs_unicast(0, &[1, 2, 3, 4], 512);
+    assert!(
+        mc < uc,
+        "one fan-out packet ({mc}) must beat four serialized unicasts ({uc})"
+    );
+}
+
+// ------------------------------------------------------------------
+// Multi-HUB (E05, E14)
+// ------------------------------------------------------------------
+
+#[test]
+fn mesh_latency_grows_gently_with_hops() {
+    // 1x4 chain of clusters, 2 CABs each: distances 1..4 hubs.
+    let mut sys = NectarSystem::mesh(1, 4, 2, SystemConfig::default());
+    let mut last = Dur::ZERO;
+    let mut lat = Vec::new();
+    for dst_hub in 1..4 {
+        let dst_cab = dst_hub * 2;
+        let r = sys.measure_cab_to_cab(0, dst_cab, 64);
+        assert!(r.latency >= last, "latency must not shrink with distance");
+        last = r.latency;
+        lat.push(r.latency);
+    }
+    // Each extra HUB adds ~wire+transit per hop (store-and-forward of a
+    // small packet), far below the software cost: the paper's claim
+    // that multi-HUB latency "is not significantly higher".
+    let per_hop = lat[2].saturating_sub(lat[0]) / 2;
+    assert!(
+        per_hop < Dur::from_micros(12),
+        "per-hop cost {per_hop} should be small vs the ~25 us software path"
+    );
+    assert!(lat[2].as_micros_f64() < 60.0, "4-hub latency stays low: {}", lat[2]);
+}
+
+#[test]
+fn mesh_carries_cross_traffic() {
+    let mut sys = NectarSystem::mesh(2, 2, 3, SystemConfig::default());
+    let w = sys.world_mut();
+    let n = w.topology().cab_count();
+    for i in 0..n {
+        let dst = (i + 5) % n;
+        if dst != i {
+            w.send_stream_now(i, dst, 1, 2, &vec![7u8; 900]);
+        }
+    }
+    w.run_until(Time::from_millis(50));
+    assert_eq!(w.deliveries.len(), n, "every cross-mesh message arrives");
+}
+
+// ------------------------------------------------------------------
+// Switching modes (E07 + ablation)
+// ------------------------------------------------------------------
+
+#[test]
+fn circuit_cached_mode_reuses_the_circuit() {
+    let cfg = SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
+    let mut sys = NectarSystem::single_hub(4, cfg);
+    for _ in 0..5 {
+        sys.measure_cab_to_cab(0, 1, 64);
+    }
+    let opens = sys.world().cab_counters(0).circuit_opens;
+    assert_eq!(opens, 1, "five messages to one destination open one circuit");
+}
+
+#[test]
+fn circuit_cache_switches_destinations_cleanly() {
+    let cfg = SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
+    let mut sys = NectarSystem::single_hub(4, cfg);
+    sys.measure_cab_to_cab(0, 1, 64);
+    sys.measure_cab_to_cab(0, 2, 64);
+    sys.measure_cab_to_cab(0, 1, 64);
+    assert_eq!(sys.world().cab_counters(0).circuit_opens, 3, "each switch reopens");
+    // Nothing multicast: each message delivered exactly once.
+    assert_eq!(sys.world().deliveries.len(), 3);
+}
+
+#[test]
+fn both_switching_modes_deliver_identical_payloads() {
+    for switching in [SwitchingMode::PacketSwitched, SwitchingMode::CircuitCached] {
+        let cfg = SystemConfig { switching, ..SystemConfig::default() };
+        let mut sys = NectarSystem::single_hub(2, cfg);
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let w = sys.world_mut();
+        w.send_stream_now(0, 1, 1, 2, &data);
+        w.run_until(Time::from_millis(20));
+        assert_eq!(w.deliveries.len(), 1, "{switching:?}");
+        // Payload integrity is checked by the mailbox contents.
+        let msg = w.mailbox_take(1, 2).expect("in mailbox");
+        assert_eq!(msg.data(), &data[..], "{switching:?}");
+    }
+}
+
+// ------------------------------------------------------------------
+// Fault injection: the transports recover (E10)
+// ------------------------------------------------------------------
+
+#[test]
+fn byte_stream_survives_packet_loss() {
+    let mut sys = default_system(2);
+    sys.world_mut().inject_faults(0.10, 0.0, 42);
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i % 253) as u8).collect();
+    let w = sys.world_mut();
+    w.send_stream_now(0, 1, 1, 2, &data);
+    w.run_until(Time::from_millis(200));
+    assert!(w.faults_injected > 0, "losses actually happened");
+    let msg = w.mailbox_take(1, 2).expect("delivered despite loss");
+    assert_eq!(msg.data(), &data[..], "payload intact after retransmissions");
+    let stats = w.stream_stats(0, 1).unwrap();
+    assert!(stats.retransmissions > 0);
+}
+
+#[test]
+fn byte_stream_survives_corruption() {
+    let mut sys = default_system(2);
+    sys.world_mut().inject_faults(0.0, 0.15, 7);
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 241) as u8).collect();
+    let w = sys.world_mut();
+    w.send_stream_now(0, 1, 1, 2, &data);
+    w.run_until(Time::from_millis(200));
+    assert!(w.faults_injected > 0);
+    assert!(w.cab_counters(1).corrupted_rx > 0, "checksum caught the corruption");
+    let msg = w.mailbox_take(1, 2).expect("delivered despite corruption");
+    assert_eq!(msg.data(), &data[..]);
+}
+
+#[test]
+fn datagrams_are_lost_silently_under_loss() {
+    let mut sys = default_system(2);
+    sys.world_mut().inject_faults(1.0, 0.0, 3); // drop everything
+    let w = sys.world_mut();
+    w.send_datagram_now(0, 1, 1, 2, b"doomed");
+    w.run_until(Time::from_millis(5));
+    assert!(w.deliveries.is_empty(), "datagram protocol does not retransmit");
+    assert_eq!(w.errors.len(), 0, "and reports nothing (§6.2.2)");
+}
+
+// ------------------------------------------------------------------
+// Contention (E15)
+// ------------------------------------------------------------------
+
+#[test]
+fn hotspot_contention_serializes_but_delivers() {
+    // Four senders hammer one receiver: the crossbar serializes the
+    // output port; everything still arrives.
+    let mut sys = default_system(6);
+    let w = sys.world_mut();
+    for src in 1..=4 {
+        w.send_stream_now(src, 0, 1, 2, &vec![src as u8; 2000]);
+    }
+    w.run_until(Time::from_millis(50));
+    assert_eq!(w.deliveries.len(), 4);
+    let retried = w.hub(0).counters().opens_retried;
+    assert!(retried > 0, "competing opens must have blocked at the output port");
+}
+
+// ------------------------------------------------------------------
+// Scheduler accounting
+// ------------------------------------------------------------------
+
+#[test]
+fn lost_hub_commands_are_recovered_end_to_end() {
+    // §6.2.1: the datalink "recovers from framing errors and lost HUB
+    // commands". Drop 30% of all command items in flight: test-opens
+    // vanish, packets get stuck at HUB queues and are discarded, the
+    // CAB ready-timeout re-arms the fiber, and the byte-stream
+    // retransmits until everything lands intact.
+    let mut sys = default_system(2);
+    sys.world_mut().inject_command_loss(0.3, 77);
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 249) as u8).collect();
+    sys.world_mut().send_stream_now(0, 1, 1, 2, &data);
+    sys.world_mut().run_until(Time::from_millis(2_000));
+    assert!(sys.world().faults_injected > 0, "commands were actually lost");
+    let msg = sys.world_mut().mailbox_take(1, 2).expect("delivered despite lost commands");
+    assert_eq!(msg.data(), &data[..]);
+    let recoveries = sys.world().cab_counters(0).ready_timeouts
+        + sys.world().hub(0).counters().drops;
+    assert!(recoveries > 0, "a recovery path must have fired");
+}
+
+#[test]
+fn cabs_can_interrogate_the_hub_status_table() {
+    // §4.1: "the status table is maintained by a central controller and
+    // can be interrogated by the CABs".
+    use nectar_hub::command::Reply;
+    use nectar_hub::id::{HubId, PortId};
+    use nectar_hub::status::PortStatus;
+    let mut sys = default_system(4);
+    // Open a connection 0 -> 1 by sending a message, then ask the HUB
+    // about CAB1's port while the next transfer is in flight.
+    sys.measure_cab_to_cab(0, 1, 64);
+    sys.world_mut().query_hub_status(2, HubId::new(0), PortId::new(1));
+    let deadline = sys.world().now() + Dur::from_millis(1);
+    sys.world_mut().run_until(deadline);
+    let status = sys
+        .world()
+        .replies()
+        .iter()
+        .find_map(|(cab, reply, _)| match reply {
+            Reply::Status { bits, .. } if *cab == 2 => Some(PortStatus::unpack(*bits)),
+            _ => None,
+        })
+        .expect("status reply reached the asking CAB");
+    assert!(status.enabled);
+    assert!(status.driven_by.is_none(), "packet-switched transfers close behind themselves");
+}
+
+#[test]
+fn receive_path_pays_interrupts_and_thread_switches() {
+    let mut sys = default_system(2);
+    sys.measure_cab_to_cab(0, 1, 64);
+    let rx = sys.world().cab_scheduler(1);
+    assert!(rx.interrupts() > 0, "packet arrival raises an interrupt");
+    assert!(rx.switches() > 0, "waking the application pays the switch");
+}

@@ -1,0 +1,66 @@
+//! HUB event counters, readable with the `read counters` supervisor
+//! command and by the experiment harness.
+
+/// Cumulative event counts for one HUB since power-on (or the last
+/// `clear counters` supervisor command).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HubCounters {
+    /// Commands executed by the central controller (user + supervisor).
+    pub commands_executed: u64,
+    /// Open commands that made a connection.
+    pub opens_succeeded: u64,
+    /// Open commands that failed and were dropped (no retry flag).
+    pub opens_failed: u64,
+    /// Open attempts that blocked and entered the retry list.
+    pub opens_retried: u64,
+    /// Lock commands that acquired a lock.
+    pub locks_acquired: u64,
+    /// Packets forwarded through the crossbar (counted per input).
+    pub packets_forwarded: u64,
+    /// Payload bytes forwarded through the crossbar.
+    pub bytes_forwarded: u64,
+    /// Reply symbols forwarded along reverse paths.
+    pub replies_forwarded: u64,
+    /// Reply symbols dropped for lack of a reverse connection.
+    pub replies_dropped: u64,
+    /// Items lost to input-queue overflow.
+    pub overflows: u64,
+    /// Items dropped for other reasons (disabled port, bad command).
+    pub drops: u64,
+    /// `reset` supervisor commands executed.
+    pub resets: u64,
+}
+
+impl HubCounters {
+    /// All-zero counters.
+    pub fn new() -> HubCounters {
+        HubCounters::default()
+    }
+
+    /// Zeroes every counter (the `clear counters` command).
+    pub fn clear(&mut self) {
+        *self = HubCounters::default();
+    }
+
+    /// Total items lost for any reason.
+    pub fn total_losses(&self) -> u64 {
+        self.overflows + self.drops + self.replies_dropped + self.opens_failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_clears() {
+        let mut c = HubCounters::new();
+        assert_eq!(c.total_losses(), 0);
+        c.overflows = 2;
+        c.drops = 3;
+        c.opens_failed = 1;
+        assert_eq!(c.total_losses(), 6);
+        c.clear();
+        assert_eq!(c, HubCounters::default());
+    }
+}

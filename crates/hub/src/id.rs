@@ -1,0 +1,119 @@
+//! Identifiers for HUBs and their I/O ports.
+//!
+//! Commands on the wire are three bytes — `command, HUB ID, param` —
+//! so both identifiers are a single byte, exactly as in the prototype.
+
+use core::fmt;
+
+/// Identifies one HUB in a multi-HUB Nectar-net.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_hub::id::HubId;
+/// let h = HubId::new(2);
+/// assert_eq!(h.raw(), 2);
+/// assert_eq!(h.to_string(), "HUB2");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HubId(u8);
+
+impl HubId {
+    /// Creates a HUB id from its wire byte.
+    pub const fn new(raw: u8) -> HubId {
+        HubId(raw)
+    }
+
+    /// The wire byte.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The index form, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u8> for HubId {
+    fn from(raw: u8) -> HubId {
+        HubId(raw)
+    }
+}
+
+impl fmt::Display for HubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HUB{}", self.0)
+    }
+}
+
+/// Identifies one I/O port on a HUB (the prototype backplane has 16).
+///
+/// A "port" is a full-duplex pair: an input queue fed by the incoming
+/// fiber and an output register driving the outgoing fiber.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_hub::id::PortId;
+/// let p = PortId::new(8);
+/// assert_eq!(p.to_string(), "P8");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(u8);
+
+impl PortId {
+    /// Creates a port id from its wire byte.
+    pub const fn new(raw: u8) -> PortId {
+        PortId(raw)
+    }
+
+    /// The wire byte.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The index form, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u8> for PortId {
+    fn from(raw: u8) -> PortId {
+        PortId(raw)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        for raw in 0..=255u8 {
+            assert_eq!(HubId::new(raw).raw(), raw);
+            assert_eq!(PortId::new(raw).raw(), raw);
+            assert_eq!(PortId::from(raw).index(), raw as usize);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_figures() {
+        // Figure 7 labels ports P1..P8 and hubs HUB1..HUB4.
+        assert_eq!(HubId::new(1).to_string(), "HUB1");
+        assert_eq!(PortId::new(4).to_string(), "P4");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(PortId::new(3) < PortId::new(7));
+        assert!(HubId::new(0) < HubId::new(1));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the CAB kernel: mailboxes against a
+//! reference model and scheduler time-accounting invariants.
+
+use nectar_cab::timings::CabTimings;
+use nectar_kernel::mailbox::{Mailbox, Message};
+use nectar_kernel::thread::Scheduler;
+use nectar_sim::time::{Dur, Time};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+enum MbOp {
+    Append { tag: u32, len: usize },
+    TakeNext,
+    TakeByTag(u32),
+}
+
+fn mb_op() -> impl Strategy<Value = MbOp> {
+    prop_oneof![
+        (0u32..4, 0usize..300).prop_map(|(tag, len)| MbOp::Append { tag, len }),
+        Just(MbOp::TakeNext),
+        (0u32..4).prop_map(MbOp::TakeByTag),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mailbox_matches_reference_model(ops in prop::collection::vec(mb_op(), 1..200)) {
+        let capacity = 4096usize;
+        let mut mb = Mailbox::new("m", capacity);
+        let mut model: VecDeque<(u64, u32, usize)> = VecDeque::new(); // (id, tag, len)
+        let mut model_used = 0usize;
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                MbOp::Append { tag, len } => {
+                    let id = next_id;
+                    next_id += 1;
+                    let result = mb.append(Message::new(id, tag, vec![0u8; len]));
+                    let charge = len.max(1);
+                    if model_used + charge <= capacity {
+                        prop_assert!(result.is_ok());
+                        model.push_back((id, tag, len));
+                        model_used += charge;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                MbOp::TakeNext => {
+                    let got = mb.take_next();
+                    let want = model.pop_front();
+                    match (got, want) {
+                        (Some(g), Some((id, tag, len))) => {
+                            prop_assert_eq!(g.id(), id);
+                            prop_assert_eq!(g.tag(), tag);
+                            prop_assert_eq!(g.len(), len);
+                            model_used -= len.max(1);
+                        }
+                        (None, None) => {}
+                        other => prop_assert!(false, "divergence: {other:?}"),
+                    }
+                }
+                MbOp::TakeByTag(tag) => {
+                    let got = mb.take_by_tag(tag);
+                    let pos = model.iter().position(|&(_, t, _)| t == tag);
+                    match (got, pos) {
+                        (Some(g), Some(p)) => {
+                            let (id, t, len) = model.remove(p).unwrap();
+                            prop_assert_eq!(g.id(), id);
+                            prop_assert_eq!(g.tag(), t);
+                            model_used -= len.max(1);
+                        }
+                        (None, None) => {}
+                        other => prop_assert!(false, "divergence: {other:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(mb.len(), model.len());
+            prop_assert_eq!(mb.used(), model_used);
+        }
+    }
+
+    #[test]
+    fn scheduler_time_never_runs_backwards(
+        bursts in prop::collection::vec((0usize..4, 0u64..50, 0u64..100), 1..100)
+    ) {
+        let mut sched = Scheduler::new(CabTimings::prototype());
+        let threads: Vec<_> = (0..4).map(|i| sched.spawn(format!("t{i}"))).collect();
+        let mut last_end = Time::ZERO;
+        let mut expected_switches = 0u64;
+        let mut prev_thread: Option<usize> = None;
+        for (tid, at_us, work_us) in bursts {
+            let now = Time::from_micros(at_us);
+            let (start, end) = sched.run(now, threads[tid], Dur::from_micros(work_us));
+            // Bursts serialize on the one CPU.
+            prop_assert!(start >= last_end.min(start));
+            prop_assert!(end >= start);
+            prop_assert!(start >= now);
+            prop_assert!(end >= last_end, "CPU time ran backwards");
+            last_end = end;
+            if let Some(p) = prev_thread {
+                if p != tid {
+                    expected_switches += 1;
+                }
+            }
+            prev_thread = Some(tid);
+        }
+        prop_assert_eq!(sched.switches(), expected_switches);
+        prop_assert_eq!(sched.cpu_free_at(), last_end);
+    }
+
+    #[test]
+    fn scheduler_accounts_every_microsecond(
+        bursts in prop::collection::vec((0usize..3, 1u64..60), 1..80)
+    ) {
+        let mut sched = Scheduler::new(CabTimings::prototype());
+        let threads: Vec<_> = (0..3).map(|i| sched.spawn(format!("t{i}"))).collect();
+        let mut per_thread = [0u64; 3];
+        for (tid, work_us) in bursts {
+            sched.run(Time::ZERO, threads[tid], Dur::from_micros(work_us));
+            per_thread[tid] += work_us;
+        }
+        for (i, t) in threads.iter().enumerate() {
+            prop_assert_eq!(sched.cpu_used(*t), Dur::from_micros(per_thread[i]));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The assembled LAN baseline: Ethernet segment + UNIX stacks.
+//!
+//! This is the "current LANs" system the paper's §3.1 claims are
+//! measured against: a 10 Mbit/s shared medium where every packet costs
+//! node software on both ends. The probes mirror `nectar-core`'s so
+//! experiment E08 can print one table from both systems.
+
+use crate::ethernet::{Ethernet, EthernetConfig, Frame};
+use crate::stack::UnixStackConfig;
+use nectar_sim::rng::Rng;
+use nectar_sim::time::Dur;
+use nectar_sim::units::Bandwidth;
+
+/// Configuration of the baseline LAN.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LanConfig {
+    /// The shared medium.
+    pub ethernet: EthernetConfig,
+    /// The node-resident protocol stack.
+    pub stack: UnixStackConfig,
+    /// RNG seed for backoff and workload generation.
+    pub seed: u64,
+}
+
+impl Default for LanConfig {
+    fn default() -> LanConfig {
+        LanConfig {
+            ethernet: EthernetConfig::default(),
+            stack: UnixStackConfig::bsd_1988(),
+            seed: 1989,
+        }
+    }
+}
+
+/// Result of the offered-load experiment (E15).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadReport {
+    /// Aggregate load the stations tried to put on the wire.
+    pub offered: Bandwidth,
+    /// Aggregate payload actually delivered.
+    pub delivered: Bandwidth,
+    /// Mean queue-to-delivery delay per frame.
+    pub mean_delay: Dur,
+    /// Collision events during the run.
+    pub collisions: u64,
+}
+
+/// A LAN of workstations for side-by-side comparison with Nectar.
+pub struct LanSystem {
+    cfg: LanConfig,
+    eth: Ethernet,
+}
+
+impl LanSystem {
+    /// A segment with `stations` workstations.
+    pub fn new(stations: usize, cfg: LanConfig) -> LanSystem {
+        let eth = Ethernet::new(stations, cfg.ethernet.clone(), cfg.seed);
+        LanSystem { cfg, eth }
+    }
+
+    /// The underlying segment.
+    pub fn ethernet(&self) -> &Ethernet {
+        &self.eth
+    }
+
+    fn fragments(&self, bytes: usize) -> Vec<usize> {
+        let mtu = self.cfg.ethernet.max_payload;
+        if bytes == 0 {
+            return vec![0];
+        }
+        let mut out = Vec::new();
+        let mut left = bytes;
+        while left > 0 {
+            let take = left.min(mtu);
+            out.push(take);
+            left -= take;
+        }
+        out
+    }
+
+    /// One-way process-to-process latency for a `bytes` message on an
+    /// otherwise idle segment: sender stack per packet (serialized on
+    /// the sending CPU), the wire, then receiver stack per packet.
+    pub fn measure_latency(&mut self, src: usize, dst: usize, bytes: usize) -> Dur {
+        let t0 = self.eth.now();
+        let frags = self.fragments(bytes);
+        let before = self.eth.deliveries.len();
+        // The sending CPU pushes fragments out one stack-traversal at a
+        // time.
+        let mut cpu_free = t0;
+        for (i, &len) in frags.iter().enumerate() {
+            cpu_free += self.cfg.stack.send_packet(len);
+            self.eth.enqueue_at(cpu_free, Frame { src, dst, bytes: len, tag: i as u64 });
+        }
+        self.eth.run_until(t0 + Dur::from_secs(10));
+        let delivered = &self.eth.deliveries[before..];
+        assert_eq!(delivered.len(), frags.len(), "idle segment loses nothing");
+        // The receiving CPU processes arrivals serially.
+        let mut rx_free = t0;
+        for d in delivered {
+            rx_free = rx_free.max(d.at) + self.cfg.stack.recv_packet(d.frame.bytes);
+        }
+        rx_free.saturating_since(t0)
+    }
+
+    /// Bulk throughput for `total` bytes between one pair of stations.
+    pub fn measure_throughput(&mut self, src: usize, dst: usize, total: usize) -> Bandwidth {
+        let elapsed = self.measure_latency(src, dst, total);
+        let bps = (total as u128 * 8 * 1_000_000_000 / elapsed.nanos().max(1) as u128) as u64;
+        Bandwidth::from_bits_per_sec(bps.max(1))
+    }
+
+    /// Drives every station with Poisson frame arrivals so the segment
+    /// carries `offered` aggregate load for `duration`, then reports
+    /// what was actually delivered (the E15 contention curve).
+    pub fn offered_load_run(
+        &mut self,
+        offered: Bandwidth,
+        frame_bytes: usize,
+        duration: Dur,
+    ) -> LoadReport {
+        let stations = {
+            // Count comes from construction; infer from a probe frame.
+            // (Ethernet has no accessor; track via config instead.)
+            self.station_count()
+        };
+        let mut rng = Rng::seed_from(self.cfg.seed ^ 0x9E37);
+        let per_station_bps = offered.bits_per_sec() as f64 / stations as f64;
+        let frame_bits = (frame_bytes * 8) as f64;
+        let mean_gap_ns = frame_bits / per_station_bps * 1e9;
+        let t0 = self.eth.now();
+        let before_frames = self.eth.deliveries.len();
+        let before_collisions = self.eth.stats().collisions;
+        for s in 0..stations {
+            let mut t = t0;
+            loop {
+                t += Dur::from_nanos(rng.exp(mean_gap_ns).max(1.0) as u64);
+                if t >= t0 + duration {
+                    break;
+                }
+                let dst = (s + 1 + rng.range(0..=(stations as u64 - 2)) as usize) % stations;
+                self.eth.enqueue_at(t, Frame { src: s, dst, bytes: frame_bytes, tag: 0 });
+            }
+        }
+        self.eth.run_until(t0 + duration);
+        let delivered = &self.eth.deliveries[before_frames..];
+        let bytes: u64 = delivered.iter().map(|d| d.frame.bytes as u64).sum();
+        let delay_sum: Dur = delivered.iter().map(|d| d.at.saturating_since(d.queued_at)).sum();
+        let mean_delay = if delivered.is_empty() {
+            Dur::ZERO
+        } else {
+            delay_sum / delivered.len() as u64
+        };
+        let delivered_bps =
+            (bytes as u128 * 8 * 1_000_000_000 / duration.nanos().max(1) as u128) as u64;
+        LoadReport {
+            offered,
+            delivered: Bandwidth::from_bits_per_sec(delivered_bps.max(1)),
+            mean_delay,
+            collisions: self.eth.stats().collisions - before_collisions,
+        }
+    }
+
+    fn station_count(&self) -> usize {
+        self.eth.station_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_latency_is_around_a_millisecond() {
+        // The 1988 baseline: ~1 ms process-to-process for a small
+        // message — an order of magnitude above Nectar's 100 us goal.
+        let mut lan = LanSystem::new(4, LanConfig::default());
+        let lat = lan.measure_latency(0, 1, 64);
+        let us = lat.as_micros_f64();
+        assert!((500.0..3000.0).contains(&us), "got {us:.0} us");
+    }
+
+    #[test]
+    fn bulk_throughput_is_capped_by_stack_and_wire() {
+        let mut lan = LanSystem::new(2, LanConfig::default());
+        let tp = lan.measure_throughput(0, 1, 256 * 1024);
+        let mbit = tp.as_mbit_per_sec_f64();
+        assert!(mbit < 10.0, "cannot beat the 10 Mbit/s wire: {mbit:.2}");
+        assert!(mbit > 2.0, "bulk transfer should still move: {mbit:.2}");
+    }
+
+    #[test]
+    fn delivered_throughput_degrades_past_saturation() {
+        let mut light = LanSystem::new(16, LanConfig::default());
+        let low = light.offered_load_run(
+            Bandwidth::from_mbit_per_sec(2),
+            512,
+            Dur::from_millis(500),
+        );
+        let mut heavy = LanSystem::new(16, LanConfig::default());
+        let high = heavy.offered_load_run(
+            Bandwidth::from_mbit_per_sec(20),
+            512,
+            Dur::from_millis(500),
+        );
+        // Under light load nearly everything is delivered...
+        assert!(
+            low.delivered.bits_per_sec() as f64 >= 0.8 * low.offered.bits_per_sec() as f64,
+            "light load: delivered {} of offered {}",
+            low.delivered,
+            low.offered
+        );
+        // ...past saturation the medium caps out below the wire rate
+        // and collisions pile up.
+        assert!(high.delivered.as_mbit_per_sec_f64() < 10.0);
+        assert!(high.collisions > low.collisions);
+        assert!(high.mean_delay > low.mean_delay);
+    }
+
+    #[test]
+    fn fragments_respect_the_mtu() {
+        let lan = LanSystem::new(2, LanConfig::default());
+        let frags = lan.fragments(4000);
+        assert_eq!(frags, vec![1500, 1500, 1000]);
+        assert_eq!(lan.fragments(0), vec![0]);
+    }
+}

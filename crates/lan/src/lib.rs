@@ -1,0 +1,34 @@
+//! # nectar-lan — the 1988 LAN baseline
+//!
+//! "The Nectar-net offers at least an order of magnitude improvement in
+//! bandwidth and latency over current LANs" (paper §3.1). This crate is
+//! the *current LAN* of that sentence: a 10 Mbit/s CSMA/CD Ethernet
+//! segment ([`ethernet`]) whose every packet is processed by a
+//! node-resident UNIX protocol stack ([`stack`]), assembled into a
+//! measurable system ([`lan`]) with the same probes as `nectar-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nectar_lan::lan::{LanConfig, LanSystem};
+//!
+//! let mut lan = LanSystem::new(4, LanConfig::default());
+//! let latency = lan.measure_latency(0, 1, 64);
+//! // A small message costs on the order of a millisecond — an order
+//! // of magnitude above Nectar's 100 us node-to-node goal.
+//! assert!(latency.as_micros_f64() > 500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ethernet;
+pub mod lan;
+pub mod stack;
+
+/// The most frequently used names, for glob import.
+pub mod prelude {
+    pub use crate::ethernet::{Delivered, Ethernet, EthernetConfig, EthernetStats, Frame};
+    pub use crate::lan::{LanConfig, LanSystem, LoadReport};
+    pub use crate::stack::UnixStackConfig;
+}

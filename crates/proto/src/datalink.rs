@@ -1,0 +1,427 @@
+//! The datalink layer: routes, HUB command packets, connection cache.
+//!
+//! "The datalink protocol transfers data packets between CABs using HUB
+//! commands, manages HUB connections, and recovers from framing errors
+//! and lost HUB commands" (§6.2.1). This module holds the pure parts —
+//! route descriptions and the §4.2 command-packet builders — plus the
+//! connection cache that lets repeated sends to the same destination
+//! skip route setup. The timed send/receive logic runs in the CAB model
+//! of `nectar-core`.
+
+use core::fmt;
+use nectar_cab::board::CabId;
+use nectar_hub::command::Command;
+use nectar_hub::id::{HubId, PortId};
+use nectar_hub::item::{Item, Packet};
+use nectar_sim::time::{Dur, Time};
+use std::collections::HashMap;
+
+/// One hop of a route: the output port to open on a HUB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Hop {
+    /// The HUB the open command is addressed to.
+    pub hub: HubId,
+    /// The output port to connect on that HUB.
+    pub out: PortId,
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.hub, self.out)
+    }
+}
+
+/// A source route from one CAB to another: the ordered output ports to
+/// open at each HUB along the way. Nectar routes are source-routed —
+/// the sending CAB computes the whole path and encodes it as a command
+/// packet (§4.2.1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Route {
+    hops: Vec<Hop>,
+}
+
+impl Route {
+    /// Builds a route from its hops, in CAB-to-destination order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty: a route traverses at least one HUB.
+    pub fn new(hops: Vec<Hop>) -> Route {
+        assert!(!hops.is_empty(), "a route traverses at least one HUB");
+        Route { hops }
+    }
+
+    /// The hops in order.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of HUBs traversed.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Routes are never empty; this exists for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The command packet that establishes this circuit: `open with
+    /// retry` at every hop, with `and reply` on the last so the sender
+    /// learns the route is up (§4.2.1's exact recipe).
+    pub fn circuit_open_items(&self) -> Vec<Item> {
+        self.open_items(false)
+    }
+
+    /// The packet-switched prologue: `test open with retry` at every
+    /// hop, so each connection waits for the downstream input queue to
+    /// be ready (§4.2.3's exact recipe).
+    pub fn test_open_items(&self) -> Vec<Item> {
+        self.open_items(true)
+    }
+
+    fn open_items(&self, test: bool) -> Vec<Item> {
+        let last = self.hops.len() - 1;
+        self.hops
+            .iter()
+            .enumerate()
+            .map(|(i, hop)| {
+                // Packet switching needs no reply: the data follows the
+                // commands immediately and flow control does the pacing.
+                let reply = !test && i == last;
+                Command::open(test, true, reply, hop.hub, hop.out).into()
+            })
+            .collect()
+    }
+
+    /// A full packet-switched transmission: test-opens, the data
+    /// packet, and the trailing `close all` (§4.2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet exceeds the 1 KB input-queue limit — larger
+    /// packets must use circuit switching (§4.2.3).
+    pub fn packet_switched_items(&self, packet: Packet, queue_capacity: usize) -> Vec<Item> {
+        assert!(
+            packet.wire_bytes() <= queue_capacity,
+            "packet-switched packets must fit the {queue_capacity}-byte input queue"
+        );
+        let mut items = self.test_open_items();
+        items.push(packet.into());
+        items.push(Item::CloseAll);
+        items
+    }
+
+    /// Individual `close` commands in reverse hop order — the §4.2.1
+    /// alternative to `close all`.
+    pub fn close_items(&self) -> Vec<Item> {
+        self.hops
+            .iter()
+            .rev()
+            .map(|hop| Command::user(nectar_hub::command::UserOp::Close, hop.hub, hop.out).into())
+            .collect()
+    }
+
+    /// Replies expected when the circuit-open packet succeeds.
+    pub fn expected_replies(&self) -> usize {
+        1
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            hop.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A multicast route: a sequence of opens walked in command-packet
+/// order, with `and reply` set on each branch's final hop. The §4.2.2
+/// example (CAB2 to CAB4 and CAB5 through HUB1/HUB4/HUB3) is the
+/// canonical instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MulticastRoute {
+    opens: Vec<(Hop, bool)>,
+}
+
+impl MulticastRoute {
+    /// Builds a multicast route from `(hop, is_branch_terminal)` pairs
+    /// in command-packet order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opens` is empty or no hop is terminal (at least one
+    /// destination must exist).
+    pub fn new(opens: Vec<(Hop, bool)>) -> MulticastRoute {
+        assert!(!opens.is_empty(), "multicast route cannot be empty");
+        assert!(opens.iter().any(|(_, t)| *t), "multicast route needs at least one destination");
+        MulticastRoute { opens }
+    }
+
+    /// The circuit-switched open sequence (§4.2.2): `open with retry`,
+    /// with `and reply` on each terminal hop.
+    pub fn circuit_open_items(&self) -> Vec<Item> {
+        self.opens
+            .iter()
+            .map(|&(hop, terminal)| Command::open(false, true, terminal, hop.hub, hop.out).into())
+            .collect()
+    }
+
+    /// The packet-switched variant (§4.2.4): all `test open with
+    /// retry`, then data, then `close all`.
+    pub fn packet_switched_items(&self, packet: Packet, queue_capacity: usize) -> Vec<Item> {
+        assert!(
+            packet.wire_bytes() <= queue_capacity,
+            "packet-switched packets must fit the {queue_capacity}-byte input queue"
+        );
+        let mut items: Vec<Item> = self
+            .opens
+            .iter()
+            .map(|&(hop, _)| Command::open(true, true, false, hop.hub, hop.out).into())
+            .collect();
+        items.push(packet.into());
+        items.push(Item::CloseAll);
+        items
+    }
+
+    /// Replies the sender waits for: one per terminal hop (§4.2.2,
+    /// "after receiving replies to both of the open with retry and
+    /// reply commands, CAB2 sends the data packet").
+    pub fn expected_replies(&self) -> usize {
+        self.opens.iter().filter(|(_, t)| *t).count()
+    }
+}
+
+/// Statistics of a [`ConnectionCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an open circuit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Circuits evicted to make room.
+    pub evictions: u64,
+}
+
+/// An LRU cache of open circuits, keyed by destination CAB.
+///
+/// Keeping a circuit open lets the next message to the same destination
+/// skip the open/reply round trip entirely — the ablation in DESIGN.md
+/// §5 measures exactly this.
+#[derive(Clone, Debug)]
+pub struct ConnectionCache {
+    capacity: usize,
+    entries: HashMap<CabId, (Route, Time)>,
+    stats: CacheStats,
+}
+
+impl ConnectionCache {
+    /// A cache holding at most `capacity` open circuits (0 disables
+    /// caching entirely — every send re-opens its route).
+    pub fn new(capacity: usize) -> ConnectionCache {
+        ConnectionCache { capacity, entries: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Looks up an open circuit to `dst`, refreshing its LRU stamp.
+    pub fn lookup(&mut self, dst: CabId, now: Time) -> Option<&Route> {
+        match self.entries.get_mut(&dst) {
+            Some((_route, stamp)) => {
+                *stamp = now;
+                self.stats.hits += 1;
+                Some(&self.entries[&dst].0)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a circuit as open. Returns the destination whose circuit
+    /// must be *closed* (its `close all` sent) if the cache evicted one.
+    pub fn insert(&mut self, dst: CabId, route: Route, now: Time) -> Option<(CabId, Route)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut evicted = None;
+        if !self.entries.contains_key(&dst) && self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("cache is non-empty");
+            let (route, _) = self.entries.remove(&oldest).expect("key exists");
+            self.stats.evictions += 1;
+            evicted = Some((oldest, route));
+        }
+        self.entries.insert(dst, (route, now));
+        evicted
+    }
+
+    /// Removes a circuit (e.g. after sending its `close all`).
+    pub fn remove(&mut self, dst: CabId) -> Option<Route> {
+        self.entries.remove(&dst).map(|(r, _)| r)
+    }
+
+    /// Open circuits currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no circuits are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Datalink-level timeouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatalinkConfig {
+    /// How long to wait for the open reply before re-probing the route
+    /// ("if CAB3 does not receive a reply soon enough...", §4.2.1).
+    pub open_timeout: Dur,
+    /// Open attempts before reporting the route unreachable.
+    pub max_open_attempts: u32,
+}
+
+impl Default for DatalinkConfig {
+    fn default() -> DatalinkConfig {
+        DatalinkConfig { open_timeout: Dur::from_micros(100), max_open_attempts: 5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_hub::command::{Op, UserOp};
+
+    fn hop(hub: u8, port: u8) -> Hop {
+        Hop { hub: HubId::new(hub), out: PortId::new(port) }
+    }
+
+    /// The paper's §4.2.1 example: CAB3 to CAB1 through HUB2 and HUB1.
+    fn fig7_route() -> Route {
+        Route::new(vec![hop(2, 8), hop(1, 8)])
+    }
+
+    fn as_command(item: &Item) -> Command {
+        match item {
+            Item::Command(c) => *c,
+            other => panic!("expected command, got {other}"),
+        }
+    }
+
+    #[test]
+    fn circuit_open_matches_paper_section_421() {
+        let items = fig7_route().circuit_open_items();
+        assert_eq!(items.len(), 2);
+        assert_eq!(as_command(&items[0]).to_string(), "open with retry HUB2 P8");
+        assert_eq!(as_command(&items[1]).to_string(), "open with retry and reply HUB1 P8");
+    }
+
+    #[test]
+    fn packet_switched_matches_paper_section_423() {
+        let packet = Packet::new(1, vec![0u8; 100]);
+        let items = fig7_route().packet_switched_items(packet, 1024);
+        let strings: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+        assert_eq!(strings[0], "cmd[test open with retry HUB2 P8]");
+        assert_eq!(strings[1], "cmd[test open with retry HUB1 P8]");
+        assert_eq!(strings[2], "packet#1 (100 B)");
+        assert_eq!(strings[3], "close all");
+    }
+
+    #[test]
+    fn multicast_matches_paper_section_422() {
+        // "open with retry HUB1 P6 / open with retry and reply HUB4 P5 /
+        //  open with retry HUB4 P3 / open with retry and reply HUB3 P4"
+        let mc = MulticastRoute::new(vec![
+            (hop(1, 6), false),
+            (hop(4, 5), true),
+            (hop(4, 3), false),
+            (hop(3, 4), true),
+        ]);
+        let strings: Vec<String> =
+            mc.circuit_open_items().iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            strings,
+            vec![
+                "cmd[open with retry HUB1 P6]",
+                "cmd[open with retry and reply HUB4 P5]",
+                "cmd[open with retry HUB4 P3]",
+                "cmd[open with retry and reply HUB3 P4]",
+            ]
+        );
+        assert_eq!(mc.expected_replies(), 2);
+    }
+
+    #[test]
+    fn close_items_reverse_order() {
+        let items = fig7_route().close_items();
+        let cmds: Vec<Command> = items.iter().map(as_command).collect();
+        assert_eq!(cmds[0].hub, HubId::new(1), "connections closed in reverse order (§4.2.1)");
+        assert_eq!(cmds[1].hub, HubId::new(2));
+        assert!(cmds.iter().all(|c| c.op == Op::User(UserOp::Close)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_packet_switching_rejected() {
+        let packet = Packet::new(1, vec![0u8; 2048]);
+        let _ = fig7_route().packet_switched_items(packet, 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_route_rejected() {
+        let _ = Route::new(vec![]);
+    }
+
+    #[test]
+    fn cache_hits_and_lru_eviction() {
+        let mut cache = ConnectionCache::new(2);
+        let r = |n| Route::new(vec![hop(n, 1)]);
+        assert!(cache.lookup(CabId::new(1), Time::ZERO).is_none());
+        cache.insert(CabId::new(1), r(1), Time::from_micros(1));
+        cache.insert(CabId::new(2), r(2), Time::from_micros(2));
+        // Touch CAB1 so CAB2 is the LRU victim.
+        assert!(cache.lookup(CabId::new(1), Time::from_micros(3)).is_some());
+        let evicted = cache.insert(CabId::new(3), r(3), Time::from_micros(4));
+        assert_eq!(evicted.map(|(d, _)| d), Some(CabId::new(2)));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ConnectionCache::new(0);
+        cache.insert(CabId::new(1), fig7_route(), Time::ZERO);
+        assert!(cache.lookup(CabId::new(1), Time::ZERO).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn remove_after_close() {
+        let mut cache = ConnectionCache::new(4);
+        cache.insert(CabId::new(1), fig7_route(), Time::ZERO);
+        assert!(cache.remove(CabId::new(1)).is_some());
+        assert!(cache.remove(CabId::new(1)).is_none());
+    }
+
+    #[test]
+    fn route_display() {
+        assert_eq!(fig7_route().to_string(), "HUB2:P8 -> HUB1:P8");
+    }
+}

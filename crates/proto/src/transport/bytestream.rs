@@ -1,0 +1,535 @@
+//! The byte-stream protocol: reliable, ordered message transfer.
+//!
+//! "The byte-stream protocol provides reliable communication using
+//! acknowledgments, retransmissions, and a sliding window for flow
+//! control" (§6.2.2). The implementation is go-back-N: the sender keeps
+//! up to `window` packets in flight; the receiver accepts only the
+//! expected sequence number, acknowledges cumulatively, and drops
+//! everything else; a retransmission timer resends the whole window.
+
+use crate::header::{Header, PacketKind, MAX_FRAGMENT_PAYLOAD};
+use crate::transport::frag::{fragment, Reassembler, ReassemblyOutcome};
+use crate::transport::{Action, TimerToken};
+use nectar_cab::board::CabId;
+use nectar_kernel::mailbox::Message;
+use nectar_sim::time::{Dur, Time};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Byte-stream tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ByteStreamConfig {
+    /// Maximum packets in flight (sender window).
+    pub window: u16,
+    /// Retransmission timeout.
+    pub rto: Dur,
+    /// Maximum payload per fragment.
+    pub max_payload: usize,
+}
+
+impl Default for ByteStreamConfig {
+    fn default() -> ByteStreamConfig {
+        ByteStreamConfig {
+            window: 8,
+            // Must exceed the worst-case transmit queueing a healthy
+            // link can impose: several streams multiplexing one fiber
+            // hold a few windows of 1 KB packets (~82 us each) ahead of
+            // a fresh packet. Spurious timeouts amplify themselves
+            // (go-back-N resends whole windows), so the base RTO sits
+            // well clear; exponential backoff covers the rest.
+            rto: Dur::from_millis(5),
+            max_payload: MAX_FRAGMENT_PAYLOAD,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Outgoing {
+    header: Header,
+    payload: Arc<[u8]>,
+}
+
+/// Sender/receiver counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByteStreamStats {
+    /// Data packets sent (first transmissions).
+    pub data_sent: u64,
+    /// Data packets retransmitted.
+    pub retransmissions: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+    /// Messages fully acknowledged (sender side).
+    pub completed: u64,
+    /// Messages delivered (receiver side).
+    pub delivered: u64,
+    /// Duplicate data packets discarded.
+    pub duplicates: u64,
+    /// Out-of-order packets dropped (go-back-N).
+    pub dropped_out_of_order: u64,
+}
+
+/// One full-duplex byte-stream connection between `local` and `peer`.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_proto::transport::bytestream::{ByteStream, ByteStreamConfig};
+/// use nectar_proto::transport::sends;
+/// use nectar_cab::board::CabId;
+/// use nectar_sim::time::Time;
+///
+/// let mut tx = ByteStream::new(CabId::new(0), CabId::new(1), ByteStreamConfig::default());
+/// let mut out = Vec::new();
+/// tx.send_message(Time::ZERO, 1, 2, b"hello", &mut out);
+/// assert_eq!(sends(&out).len(), 1); // one fragment in flight
+/// ```
+#[derive(Clone, Debug)]
+pub struct ByteStream {
+    cfg: ByteStreamConfig,
+    local: CabId,
+    peer: CabId,
+    // Sender state.
+    next_seq: u32,
+    base: u32,
+    inflight: VecDeque<Outgoing>,
+    backlog: VecDeque<Outgoing>,
+    msg_last_seq: VecDeque<(u32, u32)>,
+    next_msg_id: u32,
+    peer_window: u16,
+    timer_gen: u64,
+    timer_active: bool,
+    /// Consecutive timeouts without progress (exponential backoff).
+    backoff: u32,
+    // Receiver state.
+    expected: u32,
+    reasm: Reassembler,
+    stats: ByteStreamStats,
+}
+
+impl ByteStream {
+    /// A connection endpoint on `local` talking to `peer`.
+    pub fn new(local: CabId, peer: CabId, cfg: ByteStreamConfig) -> ByteStream {
+        ByteStream {
+            peer_window: cfg.window,
+            cfg,
+            local,
+            peer,
+            next_seq: 0,
+            base: 0,
+            inflight: VecDeque::new(),
+            backlog: VecDeque::new(),
+            msg_last_seq: VecDeque::new(),
+            next_msg_id: 0,
+            timer_gen: 0,
+            timer_active: false,
+            backoff: 0,
+            expected: 0,
+            reasm: Reassembler::new(),
+            stats: ByteStreamStats::default(),
+        }
+    }
+
+    /// The peer this connection talks to.
+    pub fn peer(&self) -> CabId {
+        self.peer
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ByteStreamStats {
+        self.stats
+    }
+
+    /// Packets currently in flight (unacknowledged).
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// `true` when nothing is queued or unacknowledged.
+    pub fn is_quiescent(&self) -> bool {
+        self.inflight.is_empty() && self.backlog.is_empty()
+    }
+
+    /// Queues `data` for reliable delivery to `dst_mailbox` on the
+    /// peer, fragmenting as needed, and transmits as far as the window
+    /// allows. Returns the message id; an [`Action::Complete`] with it
+    /// follows once every fragment is acknowledged.
+    pub fn send_message(
+        &mut self,
+        now: Time,
+        src_mailbox: u16,
+        dst_mailbox: u16,
+        data: &[u8],
+        out: &mut Vec<Action>,
+    ) -> u32 {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let frags = fragment(data, self.cfg.max_payload);
+        let count = frags.len() as u16;
+        for (i, payload) in frags.into_iter().enumerate() {
+            let header = Header {
+                src_mailbox,
+                dst_mailbox,
+                msg_id,
+                frag_index: i as u16,
+                frag_count: count,
+                seq: self.next_seq,
+                window: self.cfg.window,
+                payload_len: payload.len() as u16,
+                ..Header::new(PacketKind::Data, self.local, self.peer)
+            };
+            self.next_seq += 1;
+            self.backlog.push_back(Outgoing { header, payload });
+        }
+        self.msg_last_seq.push_back((msg_id, self.next_seq - 1));
+        self.pump(now, out);
+        msg_id
+    }
+
+    fn effective_window(&self) -> usize {
+        self.cfg.window.min(self.peer_window.max(1)) as usize
+    }
+
+    fn pump(&mut self, _now: Time, out: &mut Vec<Action>) {
+        let was_idle = self.inflight.is_empty();
+        while self.inflight.len() < self.effective_window() {
+            let Some(pkt) = self.backlog.pop_front() else { break };
+            out.push(Action::Send { header: pkt.header, payload: pkt.payload.clone() });
+            self.stats.data_sent += 1;
+            self.inflight.push_back(pkt);
+        }
+        if was_idle && !self.inflight.is_empty() {
+            self.arm_timer(out);
+        }
+    }
+
+    fn arm_timer(&mut self, out: &mut Vec<Action>) {
+        self.timer_gen += 1;
+        self.timer_active = true;
+        // Exponential backoff: consecutive timeouts without progress
+        // stretch the timer so a congested (but healthy) path does not
+        // amplify its own queueing into a retransmission storm.
+        let delay = self.cfg.rto * (1u64 << self.backoff.min(6));
+        out.push(Action::SetTimer { token: TimerToken(self.timer_gen), delay });
+    }
+
+    fn stop_timer(&mut self, out: &mut Vec<Action>) {
+        if self.timer_active {
+            out.push(Action::CancelTimer { token: TimerToken(self.timer_gen) });
+            self.timer_active = false;
+        }
+    }
+
+    /// Handles an arriving byte-stream packet (data or ack).
+    pub fn on_packet(&mut self, now: Time, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
+        match header.kind {
+            PacketKind::Data => self.on_data(header, payload, out),
+            PacketKind::Ack => self.on_ack(now, header, out),
+            other => debug_assert!(false, "byte-stream got {other}"),
+        }
+    }
+
+    fn send_ack(&mut self, out: &mut Vec<Action>) {
+        let header = Header {
+            ack: self.expected,
+            window: self.cfg.window,
+            ..Header::new(PacketKind::Ack, self.local, self.peer)
+        };
+        self.stats.acks_sent += 1;
+        out.push(Action::Send { header, payload: Arc::from(Vec::new()) });
+    }
+
+    fn on_data(&mut self, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
+        if header.seq == self.expected {
+            self.expected += 1;
+            match self.reasm.push(header.msg_id, header.frag_index, header.frag_count, payload) {
+                ReassemblyOutcome::Complete(buf) => {
+                    self.stats.delivered += 1;
+                    out.push(Action::Deliver {
+                        mailbox: header.dst_mailbox,
+                        msg: Message::new(header.msg_id as u64, header.src_mailbox as u32, buf),
+                    });
+                }
+                ReassemblyOutcome::Incomplete => {}
+                ReassemblyOutcome::Mismatch => {
+                    // In-order delivery makes this unreachable short of a
+                    // sender bug; surface loudly in debug builds.
+                    debug_assert!(false, "reassembly mismatch on in-order stream");
+                }
+            }
+        } else if header.seq < self.expected {
+            self.stats.duplicates += 1;
+        } else {
+            self.stats.dropped_out_of_order += 1;
+        }
+        // Cumulative ack in every case tells the sender where we are.
+        self.send_ack(out);
+    }
+
+    fn on_ack(&mut self, now: Time, header: &Header, out: &mut Vec<Action>) {
+        if header.window > 0 {
+            self.peer_window = header.window;
+        }
+        if header.ack <= self.base {
+            return; // duplicate ack; the timer covers recovery
+        }
+        while self
+            .inflight
+            .front()
+            .is_some_and(|pkt| pkt.header.seq < header.ack)
+        {
+            self.inflight.pop_front();
+        }
+        self.base = header.ack;
+        self.backoff = 0; // progress: reset the retransmission backoff
+        // Completion callbacks for fully acknowledged messages.
+        while self.msg_last_seq.front().is_some_and(|&(_, last)| last < self.base) {
+            let (msg_id, _) = self.msg_last_seq.pop_front().expect("front exists");
+            self.stats.completed += 1;
+            out.push(Action::Complete { msg_id });
+        }
+        self.pump(now, out);
+        if self.inflight.is_empty() {
+            self.stop_timer(out);
+        } else {
+            self.arm_timer(out);
+        }
+    }
+
+    /// Handles a retransmission-timer expiry. Stale tokens (from timers
+    /// superseded by an ack) are ignored.
+    pub fn on_timer(&mut self, _now: Time, token: TimerToken, out: &mut Vec<Action>) {
+        if !self.timer_active || token.0 != self.timer_gen {
+            return;
+        }
+        // Go-back-N: resend the whole window.
+        for pkt in &self.inflight {
+            out.push(Action::Send { header: pkt.header, payload: pkt.payload.clone() });
+            self.stats.retransmissions += 1;
+        }
+        if self.inflight.is_empty() {
+            self.timer_active = false;
+        } else {
+            self.backoff += 1;
+            self.arm_timer(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::deliveries;
+
+    /// A deterministic lossy channel harness between two endpoints.
+    /// `drop_sends` lists global send indices (0-based, across both
+    /// directions) that the "network" silently discards.
+    struct Harness {
+        a: ByteStream,
+        b: ByteStream,
+        drop_sends: Vec<usize>,
+        send_count: usize,
+        timers: Vec<(Time, usize, TimerToken)>, // (expiry, endpoint, token)
+        now: Time,
+        pub delivered: Vec<(u16, Message)>,
+        pub completed: Vec<u32>,
+    }
+
+    impl Harness {
+        fn new(cfg: ByteStreamConfig, drop_sends: Vec<usize>) -> Harness {
+            Harness {
+                a: ByteStream::new(CabId::new(0), CabId::new(1), cfg),
+                b: ByteStream::new(CabId::new(1), CabId::new(0), cfg),
+                drop_sends,
+                send_count: 0,
+                timers: Vec::new(),
+                now: Time::ZERO,
+                delivered: Vec::new(),
+                completed: Vec::new(),
+            }
+        }
+
+        fn process(&mut self, endpoint: usize, actions: Vec<Action>) {
+            // One-hop "network" with 10 us latency per packet.
+            let mut queue: Vec<(usize, Vec<Action>)> = vec![(endpoint, actions)];
+            while let Some((from, actions)) = queue.pop() {
+                for action in actions {
+                    match action {
+                        Action::Send { header, payload } => {
+                            let idx = self.send_count;
+                            self.send_count += 1;
+                            if self.drop_sends.contains(&idx) {
+                                continue;
+                            }
+                            self.now += Dur::from_micros(10);
+                            let to = 1 - from;
+                            let mut out = Vec::new();
+                            let target = if to == 0 { &mut self.a } else { &mut self.b };
+                            target.on_packet(self.now, &header, &payload, &mut out);
+                            queue.push((to, out));
+                        }
+                        Action::Deliver { mailbox, msg } => self.delivered.push((mailbox, msg)),
+                        Action::SetTimer { token, delay } => {
+                            self.timers.push((self.now + delay, from, token));
+                        }
+                        Action::CancelTimer { token } => {
+                            self.timers.retain(|&(_, ep, t)| !(ep == from && t == token));
+                        }
+                        Action::Complete { msg_id } => self.completed.push(msg_id),
+                        Action::Error(e) => panic!("unexpected transport error: {e}"),
+                    }
+                }
+            }
+        }
+
+        fn send(&mut self, data: &[u8]) -> u32 {
+            let mut out = Vec::new();
+            let id = self.a.send_message(self.now, 1, 2, data, &mut out);
+            self.process(0, out);
+            id
+        }
+
+        /// Fires timers until both endpoints quiesce.
+        fn run_to_quiescence(&mut self) {
+            let mut guard = 0;
+            while !(self.a.is_quiescent() && self.b.is_quiescent()) {
+                guard += 1;
+                assert!(guard < 1000, "protocol did not converge");
+                self.timers.sort_by_key(|&(t, _, _)| t);
+                let Some((at, ep, token)) = self.timers.first().copied() else {
+                    panic!("stuck with no timers: a={:?} b={:?}", self.a.inflight(), self.b.inflight());
+                };
+                self.timers.remove(0);
+                self.now = self.now.max(at);
+                let mut out = Vec::new();
+                if ep == 0 {
+                    self.a.on_timer(self.now, token, &mut out);
+                } else {
+                    self.b.on_timer(self.now, token, &mut out);
+                }
+                self.process(ep, out);
+            }
+        }
+    }
+
+    #[test]
+    fn small_message_delivered_and_completed() {
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![]);
+        let id = h.send(b"hello nectar");
+        h.run_to_quiescence();
+        assert_eq!(h.delivered.len(), 1);
+        assert_eq!(h.delivered[0].0, 2);
+        assert_eq!(h.delivered[0].1.data(), b"hello nectar");
+        assert_eq!(h.completed, vec![id]);
+        assert_eq!(h.a.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles_intact() {
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![]);
+        let data: Vec<u8> = (0..5000u32).map(|i| (i * 7) as u8).collect();
+        h.send(&data);
+        h.run_to_quiescence();
+        assert_eq!(h.delivered.len(), 1);
+        assert_eq!(h.delivered[0].1.data(), &data[..]);
+        // 5000 / 990 -> 6 fragments.
+        assert_eq!(h.a.stats().data_sent, 6);
+        assert_eq!(h.b.stats().delivered, 1);
+    }
+
+    #[test]
+    fn lost_data_packet_is_retransmitted() {
+        // Drop the very first send (data fragment 0).
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![0]);
+        let data = vec![9u8; 3000];
+        h.send(&data);
+        h.run_to_quiescence();
+        assert_eq!(h.delivered.len(), 1);
+        assert_eq!(h.delivered[0].1.data(), &data[..]);
+        assert!(h.a.stats().retransmissions > 0);
+        // Go-back-N: the receiver dropped the out-of-order successors.
+        assert!(h.b.stats().dropped_out_of_order > 0);
+    }
+
+    #[test]
+    fn lost_ack_causes_duplicate_not_double_delivery() {
+        // The first ack (send index 1: data=0, ack=1) is dropped.
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![1]);
+        h.send(b"once only");
+        h.run_to_quiescence();
+        assert_eq!(h.delivered.len(), 1, "exactly-once delivery to the mailbox");
+        assert!(h.b.stats().duplicates > 0, "the retransmission was recognized as a duplicate");
+        assert_eq!(h.completed.len(), 1);
+    }
+
+    #[test]
+    fn window_limits_packets_in_flight() {
+        let cfg = ByteStreamConfig { window: 2, ..ByteStreamConfig::default() };
+        let mut tx = ByteStream::new(CabId::new(0), CabId::new(1), cfg);
+        let mut out = Vec::new();
+        tx.send_message(Time::ZERO, 0, 0, &vec![0u8; 5000], &mut out);
+        let sent = out.iter().filter(|a| a.is_send()).count();
+        assert_eq!(sent, 2, "window of 2 caps the initial burst");
+        assert_eq!(tx.inflight(), 2);
+    }
+
+    #[test]
+    fn back_to_back_messages_all_complete_in_order() {
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![]);
+        let ids: Vec<u32> = (0..5).map(|i| h.send(&vec![i as u8; 1500])).collect();
+        h.run_to_quiescence();
+        assert_eq!(h.completed, ids);
+        assert_eq!(h.delivered.len(), 5);
+        for (i, (_, msg)) in h.delivered.iter().enumerate() {
+            assert_eq!(msg.data(), &vec![i as u8; 1500][..], "messages arrive in order");
+        }
+    }
+
+    #[test]
+    fn heavy_loss_still_converges() {
+        // Drop a third of the first 30 transmissions.
+        let drops: Vec<usize> = (0..30).filter(|i| i % 3 == 0).collect();
+        let mut h = Harness::new(ByteStreamConfig::default(), drops);
+        let data: Vec<u8> = (0..8000u32).map(|i| (i % 251) as u8).collect();
+        h.send(&data);
+        h.run_to_quiescence();
+        assert_eq!(h.delivered.len(), 1);
+        assert_eq!(h.delivered[0].1.data(), &data[..]);
+    }
+
+    #[test]
+    fn stale_timer_tokens_are_ignored() {
+        let mut tx = ByteStream::new(CabId::new(0), CabId::new(1), ByteStreamConfig::default());
+        let mut out = Vec::new();
+        tx.send_message(Time::ZERO, 0, 0, b"x", &mut out);
+        let token = out
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("timer armed");
+        // An ack arrives, superseding the timer...
+        let ack =
+            Header { ack: 1, window: 8, ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0)) };
+        let mut out2 = Vec::new();
+        tx.on_packet(Time::ZERO, &ack, &[], &mut out2);
+        // ...so the old token must do nothing.
+        let mut out3 = Vec::new();
+        tx.on_timer(Time::from_millis(1), token, &mut out3);
+        assert!(out3.is_empty(), "stale timer retransmitted: {out3:?}");
+        assert_eq!(tx.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn deliveries_helper_sees_payload() {
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![]);
+        h.send(b"abc");
+        h.run_to_quiescence();
+        let refs: Vec<Action> = h
+            .delivered
+            .iter()
+            .map(|(mb, m)| Action::Deliver { mailbox: *mb, msg: m.clone() })
+            .collect();
+        assert_eq!(deliveries(&refs).len(), 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Engine`] is a priority queue of timestamped events plus a clock.
+//! It is generic over the event payload type `E`; the system-integration
+//! layer defines one event enum for the whole world and drives the loop:
+//!
+//! ```
+//! use nectar_sim::engine::Engine;
+//! use nectar_sim::time::{Dur, Time};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut eng = Engine::new();
+//! eng.schedule(Dur::from_nanos(10), Ev::Ping);
+//! let mut log = Vec::new();
+//! while let Some(ev) = eng.step() {
+//!     match ev {
+//!         Ev::Ping => {
+//!             eng.schedule(Dur::from_nanos(5), Ev::Pong);
+//!             log.push((eng.now(), "ping"));
+//!         }
+//!         Ev::Pong => log.push((eng.now(), "pong")),
+//!     }
+//! }
+//! assert_eq!(log, vec![(Time::from_nanos(10), "ping"), (Time::from_nanos(15), "pong")]);
+//! ```
+//!
+//! Determinism: events that share a timestamp are delivered in the order
+//! they were scheduled (FIFO tie-break on a sequence number), so a run
+//! is a pure function of its inputs and RNG seed.
+
+use crate::time::{Dur, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Handle to a scheduled event, usable to [`Engine::cancel`] it.
+///
+/// Handles are unique over the lifetime of an engine and never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// See the [module documentation](self) for the driving pattern.
+///
+/// Scheduling, cancelling, and delivering are all O(log n): cancelled
+/// events become tombstones that are garbage-collected whenever they
+/// reach the top of the heap, so the invariant "the heap top is live"
+/// holds between calls and [`peek_time`](Engine::peek_time) is O(1).
+pub struct Engine<E> {
+    now: Time,
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs scheduled and not yet fired or cancelled.
+    live: HashSet<u64>,
+    /// Seqs cancelled but still buried in the heap.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<E> fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`Time::ZERO`] and no events.
+    pub fn new() -> Engine<E> {
+        Engine {
+            now: Time::ZERO,
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// delivered event (or [`Time::ZERO`] before the first).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of live events still pending.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    ///
+    /// Returns a handle usable with [`cancel`](Engine::cancel).
+    pub fn schedule(&mut self, delay: Dur, payload: E) -> EventId {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("event scheduled past the end of representable time");
+        self.schedule_at(at, payload)
+    }
+
+    /// Schedules `payload` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](Engine::now): the
+    /// simulation cannot deliver events into its own past.
+    pub fn schedule_at(&mut self, at: Time, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Pops tombstoned entries off the heap top, restoring the
+    /// invariant that the top (if any) is a live event.
+    fn gc_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let dead = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&dead.seq);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (it will not be
+    /// delivered), `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.live.remove(&id.0) {
+            return false; // already fired, already cancelled, or unknown
+        }
+        self.cancelled.insert(id.0);
+        self.gc_top();
+        true
+    }
+
+    /// Delivers the next event: advances the clock to its timestamp and
+    /// returns its payload, or `None` if the queue is empty.
+    pub fn step(&mut self) -> Option<E> {
+        // The gc invariant guarantees the top (if any) is live.
+        let entry = self.heap.pop()?;
+        debug_assert!(!self.cancelled.contains(&entry.seq), "gc invariant violated");
+        debug_assert!(entry.at >= self.now);
+        self.live.remove(&entry.seq);
+        self.gc_top();
+        self.now = entry.at;
+        self.delivered += 1;
+        Some(entry.payload)
+    }
+
+    /// The timestamp of the next live event, if any, without delivering
+    /// it. O(1) thanks to the gc invariant.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Advances the clock to `t` without delivering anything.
+    ///
+    /// Used by drivers that poll in fixed time slices: when every
+    /// pending event lies beyond the slice, the clock still moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live event is scheduled before `t` — delivering it
+    /// late would reorder the simulation.
+    pub fn advance_to(&mut self, t: Time) {
+        if t <= self.now {
+            return;
+        }
+        if let Some(next) = self.peek_time() {
+            assert!(next >= t, "cannot advance past a pending event at {next}");
+        }
+        self.now = t;
+    }
+
+    /// Runs `handler` on every event until the queue drains or the clock
+    /// would pass `deadline`; events after the deadline stay queued.
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run_until<F>(&mut self, deadline: Time, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        let mut n = 0;
+        while let Some(at) = self.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let ev = self.step().expect("peek_time saw a live event");
+            handler(self, ev);
+            n += 1;
+        }
+        if self.now < deadline && self.is_idle() {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs `handler` until no events remain.
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run_to_completion<F>(&mut self, handler: F) -> u64
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        self.run_until(Time::MAX, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Dur::from_nanos(30), 3);
+        eng.schedule(Dur::from_nanos(10), 1);
+        eng.schedule(Dur::from_nanos(20), 2);
+        assert_eq!(eng.step(), Some(1));
+        assert_eq!(eng.now(), Time::from_nanos(10));
+        assert_eq!(eng.step(), Some(2));
+        assert_eq!(eng.step(), Some(3));
+        assert_eq!(eng.step(), None);
+        assert_eq!(eng.events_delivered(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule(Dur::from_nanos(5), "first");
+        eng.schedule(Dur::from_nanos(5), "second");
+        eng.schedule(Dur::from_nanos(5), "third");
+        assert_eq!(eng.step(), Some("first"));
+        assert_eq!(eng.step(), Some("second"));
+        assert_eq!(eng.step(), Some("third"));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.schedule(Dur::from_nanos(1), 1);
+        let b = eng.schedule(Dur::from_nanos(2), 2);
+        assert!(eng.cancel(a));
+        assert!(!eng.cancel(a), "double cancel reports false");
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.step(), Some(2));
+        assert!(!eng.cancel(b), "cancelling a fired event reports false");
+    }
+
+    #[test]
+    fn schedule_during_step() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Dur::from_nanos(10), 0);
+        let mut seen = Vec::new();
+        eng.run_to_completion(|eng, ev| {
+            seen.push((eng.now().nanos(), ev));
+            if ev < 3 {
+                eng.schedule(Dur::from_nanos(10), ev + 1);
+            }
+        });
+        assert_eq!(seen, vec![(10, 0), (20, 1), (30, 2), (40, 3)]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Dur::from_nanos(10), 1);
+        eng.schedule(Dur::from_nanos(100), 2);
+        let mut seen = Vec::new();
+        let n = eng.run_until(Time::from_nanos(50), |_, ev| seen.push(ev));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(eng.pending(), 1);
+        // Clock does not jump to the deadline while events remain queued.
+        assert_eq!(eng.now(), Time::from_nanos(10));
+    }
+
+    #[test]
+    fn run_until_advances_idle_clock() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.run_until(Time::from_micros(5), |_, _| {});
+        assert_eq!(eng.now(), Time::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_panics() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Dur::from_nanos(10), 1);
+        eng.step();
+        eng.schedule_at(Time::from_nanos(5), 2);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.schedule(Dur::from_nanos(1), 1);
+        eng.schedule(Dur::from_nanos(9), 2);
+        eng.cancel(a);
+        assert_eq!(eng.peek_time(), Some(Time::from_nanos(9)));
+    }
+
+    #[test]
+    fn zero_delay_fires_at_now() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Dur::from_nanos(7), 1);
+        eng.step();
+        eng.schedule(Dur::ZERO, 2);
+        assert_eq!(eng.peek_time(), Some(Time::from_nanos(7)));
+        assert_eq!(eng.step(), Some(2));
+        assert_eq!(eng.now(), Time::from_nanos(7));
+    }
+}

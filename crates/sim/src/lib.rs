@@ -1,0 +1,48 @@
+//! # nectar-sim — discrete-event simulation substrate
+//!
+//! The Nectar paper (ASPLOS 1989) describes a hardware network
+//! backplane. This reproduction replaces the hardware with a
+//! deterministic nanosecond-resolution discrete-event simulation; this
+//! crate is the engine everything else runs on.
+//!
+//! * [`time`] — [`Time`](time::Time) / [`Dur`](time::Dur) newtypes.
+//! * [`units`] — [`Bandwidth`](units::Bandwidth) and transfer-time math.
+//! * [`engine`] — the [`Engine`](engine::Engine) event queue.
+//! * [`rng`] — seeded, reproducible randomness for workloads.
+//! * [`stats`] — counters, sample distributions, throughput meters.
+//! * [`trace`] — the software analogue of the HUB instrumentation board.
+//!
+//! # Examples
+//!
+//! A two-event simulation:
+//!
+//! ```
+//! use nectar_sim::prelude::*;
+//!
+//! let mut eng: Engine<&str> = Engine::new();
+//! eng.schedule(Dur::from_nanos(700), "connection established");
+//! eng.schedule(Dur::from_nanos(700 + 350), "first byte through hub");
+//! let mut events = 0;
+//! eng.run_to_completion(|_, _| events += 1);
+//! assert_eq!(events, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+/// The most frequently used names, for glob import.
+pub mod prelude {
+    pub use crate::engine::{Engine, EventId};
+    pub use crate::rng::Rng;
+    pub use crate::stats::{Counter, Samples, Throughput, TimeWeighted};
+    pub use crate::time::{Dur, Time};
+    pub use crate::trace::{Category, Trace};
+    pub use crate::units::Bandwidth;
+}

@@ -1,0 +1,241 @@
+//! Event tracing, modelled on the HUB's plug-in instrumentation board.
+//!
+//! The prototype HUB backplane accepts an instrumentation board that
+//! "can monitor and record events related to the crossbar and its
+//! controller" (paper §4.1). [`Trace`] is the software analogue: a
+//! bounded ring of timestamped records that components append to when
+//! tracing is enabled. Experiments use it to reconstruct command walks
+//! (e.g. the Fig. 7 circuit-switching example) and to debug protocol
+//! interleavings.
+//!
+//! # Examples
+//!
+//! ```
+//! use nectar_sim::trace::{Trace, Category};
+//! use nectar_sim::time::Time;
+//!
+//! let mut tr = Trace::with_capacity(8);
+//! tr.record(Time::from_nanos(70), Category::Controller, "open P4->P8");
+//! assert_eq!(tr.len(), 1);
+//! assert!(tr.iter().any(|r| r.message.contains("open")));
+//! ```
+
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The subsystem a trace record originated from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Category {
+    /// HUB central controller: command execution, retries.
+    Controller,
+    /// HUB crossbar: connection state changes.
+    Crossbar,
+    /// HUB or CAB I/O port: symbols entering/leaving queues.
+    Port,
+    /// CAB DMA controller.
+    Dma,
+    /// CAB kernel: thread and mailbox activity.
+    Kernel,
+    /// Datalink protocol.
+    Datalink,
+    /// Transport protocols.
+    Transport,
+    /// Node operating-system model.
+    Node,
+    /// Application / workload level.
+    App,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Controller => "ctrl",
+            Category::Crossbar => "xbar",
+            Category::Port => "port",
+            Category::Dma => "dma",
+            Category::Kernel => "kern",
+            Category::Datalink => "dlink",
+            Category::Transport => "trans",
+            Category::Node => "node",
+            Category::App => "app",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One timestamped trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Simulation time at which the event happened.
+    pub at: Time,
+    /// Originating subsystem.
+    pub category: Category,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded ring buffer of [`Record`]s.
+///
+/// When full, the oldest record is dropped — like a logic analyser with
+/// a fixed capture depth. Recording is a no-op while disabled, so
+/// instrumented hot paths cost one branch in production runs.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    ring: VecDeque<Record>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(4096)
+    }
+}
+
+impl Trace {
+    /// Creates an enabled trace holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace { ring: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: true, dropped: 0 }
+    }
+
+    /// Creates a disabled trace with the default capacity (records are
+    /// discarded until [`set_enabled`](Trace::set_enabled)).
+    pub fn disabled() -> Trace {
+        let mut t = Trace::default();
+        t.enabled = false;
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` if records are currently kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (dropping the oldest if at capacity).
+    pub fn record(&mut self, at: Time, category: Category, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Record { at, category, message: message.into() });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of records lost to capacity since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.ring.iter()
+    }
+
+    /// Records from one subsystem, oldest-to-newest.
+    pub fn by_category(&self, category: Category) -> impl Iterator<Item = &Record> {
+        self.ring.iter().filter(move |r| r.category == category)
+    }
+
+    /// Discards all retained records (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::with_capacity(10);
+        tr.record(t(1), Category::Port, "a");
+        tr.record(t(2), Category::Port, "b");
+        let msgs: Vec<_> = tr.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut tr = Trace::with_capacity(2);
+        tr.record(t(1), Category::Port, "a");
+        tr.record(t(2), Category::Port, "b");
+        tr.record(t(3), Category::Port, "c");
+        let msgs: Vec<_> = tr.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["b", "c"]);
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_discards() {
+        let mut tr = Trace::disabled();
+        tr.record(t(1), Category::Port, "a");
+        assert!(tr.is_empty());
+        tr.set_enabled(true);
+        tr.record(t(2), Category::Port, "b");
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn filters_by_category() {
+        let mut tr = Trace::with_capacity(10);
+        tr.record(t(1), Category::Controller, "open");
+        tr.record(t(2), Category::Dma, "xfer");
+        tr.record(t(3), Category::Controller, "close");
+        assert_eq!(tr.by_category(Category::Controller).count(), 2);
+        assert_eq!(tr.by_category(Category::Dma).count(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut tr = Trace::with_capacity(4);
+        tr.record(t(700), Category::Controller, "open P3->P8");
+        let s = tr.iter().next().unwrap().to_string();
+        assert!(s.contains("700 ns") && s.contains("ctrl") && s.contains("open P3->P8"), "{s}");
+    }
+
+    #[test]
+    fn clear_keeps_drop_count() {
+        let mut tr = Trace::with_capacity(1);
+        tr.record(t(1), Category::Port, "a");
+        tr.record(t(2), Category::Port, "b");
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Automatic task mapping (§6.3): describe an application as a task
+//! graph and let the mapper place it onto a concrete Nectar
+//! configuration — then measure the difference it makes.
+//!
+//! Run with: `cargo run --release --example auto_mapping`
+
+use nectar::core::mapping::{
+    map_annealed, map_greedy, map_round_robin, predicted_cost, Placement, TaskGraph,
+};
+use nectar::core::topology::Topology;
+use nectar::core::world::World;
+use nectar::core::SystemConfig;
+use nectar::sim::time::Dur;
+
+fn main() {
+    // A speech-understanding-shaped application (§2.1): a front-end
+    // pipeline of signal-processing stages with heavy flows, feeding a
+    // pair of symbolic back-ends with light flows.
+    let mut g = TaskGraph::new();
+    let stages: Vec<usize> = (0..4).map(|i| g.add_task(format!("dsp{i}"))).collect();
+    let parsers: Vec<usize> = (0..2).map(|i| g.add_task(format!("parse{i}"))).collect();
+    let planner = g.add_task("planner");
+    for w in stages.windows(2) {
+        g.add_flow(w[0], w[1], 60);
+    }
+    for &p in &parsers {
+        g.add_flow(stages[3], p, 10);
+        g.add_flow(p, planner, 5);
+    }
+
+    // Target configuration: two HUB clusters of four CABs (Fig. 3).
+    let topo = Topology::mesh2d(1, 2, 4, 16);
+
+    println!("task graph: {} tasks, {} flows; target: 2 clusters x 4 CABs\n", g.len(), g.flows().len());
+    println!("  {:<24} {:>10} {:>14}", "strategy", "predicted", "measured");
+    for (label, placement) in [
+        ("round-robin", map_round_robin(&g, &topo)),
+        ("greedy (max-adjacency)", map_greedy(&g, &topo, 4)),
+        ("simulated annealing", map_annealed(&g, &topo, 4, 5000, 7)),
+    ] {
+        let cost = predicted_cost(&g, &topo, &placement);
+        let makespan = measure(&g, &topo, &placement);
+        println!("  {label:<24} {cost:>10} {makespan:>14}");
+    }
+    println!("\npredicted cost = sum(flow weight x HUB hops); co-resident flows are free");
+}
+
+fn measure(g: &TaskGraph, topo: &Topology, placement: &Placement) -> Dur {
+    let mut world = World::new(topo.clone(), SystemConfig::default());
+    let t0 = world.now();
+    let mut expected = 0usize;
+    for &(a, b, weight) in g.flows() {
+        let (ca, cb) = (placement.cab_of[a], placement.cab_of[b]);
+        if ca == cb {
+            continue;
+        }
+        for _ in 0..weight {
+            world.send_datagram_now(ca, cb, 1, 2, &[0u8; 800]);
+        }
+        expected += weight as usize;
+    }
+    while world.deliveries.len() < expected {
+        let Some(next) = world.next_event_time() else { break };
+        world.run_until(next);
+    }
+    world.deliveries.last().map_or(Dur::ZERO, |d| d.at.saturating_since(t0))
+}

@@ -1,0 +1,53 @@
+//! Multi-HUB Nectar systems: the paper's Fig. 4 two-dimensional mesh of
+//! HUB clusters and the Fig. 7 four-HUB command walk of §4.2.
+//!
+//! Run with: `cargo run --example multi_hub_mesh`
+
+use nectar::core::topology::TopologyBuilder;
+use nectar::core::world::SwitchingMode;
+use nectar::core::{NectarSystem, SystemConfig};
+use nectar::hub::id::PortId;
+
+fn main() {
+    // --- Fig. 4: a 3x3 mesh of HUB clusters -------------------------
+    let mut sys = NectarSystem::mesh(3, 3, 4, SystemConfig::default());
+    println!("Fig. 4 mesh: 3x3 HUB clusters, 4 CABs each = {} CABs", sys.world().topology().cab_count());
+    println!("\n  hops  latency (64 B)");
+    for (dst, label) in [(1usize, "same cluster"), (4, "next cluster"), (16, "two clusters"), (35, "corner to corner")] {
+        let hops = sys.world().topology().hop_count(0, dst).unwrap();
+        let r = sys.measure_cab_to_cab(0, dst, 64);
+        println!("  {hops:>4}  {}  ({label})", r.latency);
+    }
+
+    // --- Fig. 7: the paper's four-HUB example -----------------------
+    // Paper numbering: HUB1..HUB4 = our indices 0..3.
+    let mut b = TopologyBuilder::new(4, 16);
+    let cab1 = b.add_cab(0, PortId::new(1)).unwrap();
+    let _cab2 = b.add_cab(0, PortId::new(2)).unwrap();
+    let cab3 = b.add_cab(1, PortId::new(4)).unwrap();
+    let cab4 = b.add_cab(3, PortId::new(5)).unwrap();
+    let cab5 = b.add_cab(2, PortId::new(6)).unwrap();
+    b.link_hubs(1, PortId::new(8), 0, PortId::new(3)).unwrap();
+    b.link_hubs(0, PortId::new(6), 3, PortId::new(7)).unwrap();
+    b.link_hubs(3, PortId::new(3), 2, PortId::new(9)).unwrap();
+    let topo = b.build().unwrap();
+
+    println!("\nFig. 7 circuit switching (§4.2.1): CAB3 -> CAB1");
+    let route = topo.route(cab3, cab1).unwrap();
+    println!("  route         : {route}");
+    for item in route.circuit_open_items() {
+        println!("  command       : {item}");
+    }
+
+    println!("\nFig. 7 multicast (§4.2.2): CAB2 -> CAB4 and CAB5");
+    let mc = topo.multicast_route(_cab2, &[cab4, cab5]).unwrap();
+    for item in mc.circuit_open_items() {
+        println!("  command       : {item}");
+    }
+    println!("  replies wanted: {}", mc.expected_replies());
+
+    let cfg = SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
+    let mut fig7 = NectarSystem::custom(topo, cfg);
+    let r = fig7.measure_cab_to_cab(cab3, cab1, 64);
+    println!("\n  CAB3 -> CAB1 process-to-process latency: {}", r.latency);
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a single-HUB Nectar system, send messages through
+//! the Nectarine API, and check the paper's headline latency goal.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nectar::core::nectarine::Nectarine;
+use nectar::core::{NectarSystem, SystemConfig};
+use nectar::sim::time::Dur;
+
+fn main() {
+    // --- Low-level: the measurement probes -------------------------
+    let mut sys = NectarSystem::single_hub(4, SystemConfig::default());
+    let report = sys.measure_cab_to_cab(0, 1, 64);
+    println!("CAB-to-CAB, 64 B message : {}   (paper goal: < 30 us)", report.latency);
+
+    let rtt = sys.measure_rpc_rtt(0, 1, 64, 64);
+    println!("RPC round trip, 64 B     : {rtt}");
+
+    let tp = sys.measure_stream_throughput(2, 3, 256 * 1024, 8192);
+    println!("bulk stream, 256 KiB     : {}   (fiber peak: 100 Mbit/s)", tp.rate);
+
+    // --- High-level: the Nectarine programming interface -----------
+    let mut app = Nectarine::single_hub(4, SystemConfig::default());
+    let producer = app.create_task("producer", 0);
+    let consumer = app.create_task("consumer", 1);
+
+    app.send(producer, consumer, b"hello from the Warp side");
+    let msg = app
+        .receive_blocking(consumer, Dur::from_millis(5))
+        .expect("message delivered");
+    println!(
+        "Nectarine: {} -> {} delivered {:?}",
+        app.task_name(producer),
+        app.task_name(consumer),
+        std::str::from_utf8(msg.data()).unwrap()
+    );
+
+    // Hardware multicast: one packet, two receivers.
+    let c2 = app.create_task("consumer-2", 2);
+    let c3 = app.create_task("consumer-3", 3);
+    app.multicast(producer, &[c2, c3], b"to everyone at once");
+    for c in [c2, c3] {
+        let m = app.receive_blocking(c, Dur::from_millis(5)).expect("multicast leg");
+        println!("multicast -> {}: {} bytes", app.task_name(c), m.len());
+    }
+}
