@@ -41,14 +41,7 @@ pub struct DsmConfig {
 
 impl Default for DsmConfig {
     fn default() -> DsmConfig {
-        DsmConfig {
-            clients: 4,
-            pages: 16,
-            page_bytes: 4096,
-            faults: 40,
-            write_ratio: 0.3,
-            seed: 4,
-        }
+        DsmConfig { clients: 4, pages: 16, page_bytes: 4096, faults: 40, write_ratio: 0.3, seed: 4 }
     }
 }
 
@@ -79,7 +72,7 @@ const INVALIDATE_MB: u16 = 10;
 /// wedges (deadline 50 ms per fault).
 pub fn run_dsm(cfg: &DsmConfig, sys_cfg: SystemConfig) -> DsmReport {
     assert!(cfg.clients >= 2, "DSM needs at least two clients");
-    assert!(cfg.clients + 1 <= sys_cfg.hub.ports, "clients + home must fit one HUB");
+    assert!(cfg.clients < sys_cfg.hub.ports, "clients + home must fit one HUB");
     let mut sys = NectarSystem::single_hub(cfg.clients + 1, sys_cfg);
     let home = 0usize;
     let mut rng = Rng::seed_from(cfg.seed);

@@ -81,6 +81,8 @@ pub struct ProductionReport {
     pub token_latency: Samples,
     /// Peak number of tokens outstanding at one worker.
     pub peak_worker_backlog: usize,
+    /// Simulation events the run processed.
+    pub events: u64,
 }
 
 impl ProductionReport {
@@ -190,7 +192,13 @@ pub fn run_production(cfg: &ProductionConfig, sys_cfg: SystemConfig) -> Producti
     token_latency.record_dur(probe.latency);
     let elapsed = sys.world().now().saturating_since(t_start);
     let _ = Time::ZERO;
-    ProductionReport { tokens_matched: matched, elapsed, token_latency, peak_worker_backlog: peak_backlog }
+    ProductionReport {
+        tokens_matched: matched,
+        elapsed,
+        token_latency,
+        peak_worker_backlog: peak_backlog,
+        events: sys.world().events_processed(),
+    }
 }
 
 /// The worker (other than `not`) with the fewest outstanding tokens.
@@ -252,7 +260,11 @@ mod tests {
         // §7: "an application that requires run-time load balancing" —
         // the least-loaded policy must bound worker backlog below the
         // random policy's peak.
-        let base = ProductionConfig { max_tokens: 300, fanout_probability: 0.49, ..ProductionConfig::default() };
+        let base = ProductionConfig {
+            max_tokens: 300,
+            fanout_probability: 0.49,
+            ..ProductionConfig::default()
+        };
         let random = run_production(
             &ProductionConfig { balance: Balance::Random, ..base.clone() },
             SystemConfig::default(),

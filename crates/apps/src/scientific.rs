@@ -72,13 +72,13 @@ pub fn run_jacobi(cfg: &JacobiConfig, sys_cfg: SystemConfig) -> JacobiReport {
     for _iter in 0..cfg.iterations {
         let t0 = cube.system_mut().world().now();
         // Exchange halos: everyone sends, then everyone receives.
-        for node in 0..n {
+        for (node, grid) in grids.iter().enumerate() {
             if node > 0 {
-                let left_edge = grids[node][0].to_be_bytes().to_vec();
+                let left_edge = grid[0].to_be_bytes().to_vec();
                 cube.csend(HALO_RIGHT, &left_edge, node, node - 1);
             }
             if node + 1 < n {
-                let right_edge = grids[node][ppn - 1].to_be_bytes().to_vec();
+                let right_edge = grid[ppn - 1].to_be_bytes().to_vec();
                 cube.csend(HALO_LEFT, &right_edge, node, node + 1);
             }
         }
@@ -99,8 +99,7 @@ pub fn run_jacobi(cfg: &JacobiConfig, sys_cfg: SystemConfig) -> JacobiReport {
         for node in 0..n {
             let old = grids[node].clone();
             for i in 0..ppn {
-                let is_global_boundary =
-                    (node == 0 && i == 0) || (node == n - 1 && i == ppn - 1);
+                let is_global_boundary = (node == 0 && i == 0) || (node == n - 1 && i == ppn - 1);
                 if is_global_boundary {
                     continue;
                 }
@@ -189,8 +188,7 @@ pub fn run_annealing(cfg: &AnnealingConfig, sys_cfg: SystemConfig) -> AnnealingR
             t
         })
         .collect();
-    let initial_cost =
-        tours.iter().map(|t| tour_cost(t, &xs, &ys)).fold(f64::INFINITY, f64::min);
+    let initial_cost = tours.iter().map(|t| tour_cost(t, &xs, &ys)).fold(f64::INFINITY, f64::min);
     let mut temperature = 1.0f64;
     let mut exchange_time = Samples::new("exchange (ns)");
     const TOUR: u32 = 200;
@@ -214,8 +212,8 @@ pub fn run_annealing(cfg: &AnnealingConfig, sys_cfg: SystemConfig) -> AnnealingR
         // Ring exchange: everyone passes its tour to the next node; each
         // node keeps the better of (its own, the received one).
         let t0 = cube.system_mut().world().now();
-        for node in 0..cfg.nodes {
-            cube.csend(TOUR, &tours[node], node, (node + 1) % cfg.nodes);
+        for (node, tour) in tours.iter().enumerate() {
+            cube.csend(TOUR, tour, node, (node + 1) % cfg.nodes);
         }
         let mut received = Vec::with_capacity(cfg.nodes);
         for node in 0..cfg.nodes {

@@ -82,7 +82,7 @@ const SERVICE_MB: u16 = 80;
 /// Panics if the system cannot host the CABs or an RPC round wedges.
 pub fn run_transactions(cfg: &TxnConfig, sys_cfg: SystemConfig) -> TxnReport {
     assert!(cfg.participants >= 1, "a transaction needs participants");
-    assert!(cfg.participants + 1 <= sys_cfg.hub.ports, "participants + coordinator on one HUB");
+    assert!(cfg.participants < sys_cfg.hub.ports, "participants + coordinator on one HUB");
     let mut sys = NectarSystem::single_hub(cfg.participants + 1, sys_cfg);
     let coordinator = 0usize;
     let mut rng = Rng::seed_from(cfg.seed);
@@ -94,10 +94,17 @@ pub fn run_transactions(cfg: &TxnConfig, sys_cfg: SystemConfig) -> TxnReport {
     for txn in 0..cfg.transactions {
         let t0 = sys.world().now();
         // Phase 1: PREPARE to every participant (parallel RPCs).
-        let votes = rpc_round(&mut sys, coordinator, cfg, txn as u32 * 2, |r| {
-            // Each participant forces its log then votes.
-            !r.chance(cfg.abort_probability)
-        }, &mut rng);
+        let votes = rpc_round(
+            &mut sys,
+            coordinator,
+            cfg,
+            txn as u32 * 2,
+            |r| {
+                // Each participant forces its log then votes.
+                !r.chance(cfg.abort_probability)
+            },
+            &mut rng,
+        );
         let all_yes = votes.iter().all(|&v| v);
         // Phase 2: COMMIT or ABORT (parallel RPCs; participants ack
         // after forcing the outcome record).

@@ -63,6 +63,8 @@ pub struct VisionReport {
     pub query_rtt: Samples,
     /// Total simulated time.
     pub elapsed: Dur,
+    /// Simulation events the run processed.
+    pub events: u64,
 }
 
 impl VisionReport {
@@ -143,6 +145,7 @@ pub fn run_vision(cfg: &VisionConfig, sys_cfg: SystemConfig) -> VisionReport {
         image_throughput,
         query_rtt,
         elapsed,
+        events: sys.world().events_processed(),
     }
 }
 

@@ -48,7 +48,8 @@ fn bench_e16b_scientific(c: &mut Criterion) {
     });
     g.bench_function("annealing_2_rounds", |b| {
         b.iter(|| {
-            let cfg = AnnealingConfig { rounds: 2, steps_per_round: 50, ..AnnealingConfig::default() };
+            let cfg =
+                AnnealingConfig { rounds: 2, steps_per_round: 50, ..AnnealingConfig::default() };
             black_box(run_annealing(&cfg, SystemConfig::default()).best_cost)
         })
     });

@@ -17,11 +17,7 @@ fn bench_e01_setup_and_transfer(c: &mut Criterion) {
                 &mut hub,
                 vec![
                     (Time::ZERO, PortId::new(4), open.into()),
-                    (
-                        Time::from_nanos(240),
-                        PortId::new(4),
-                        Packet::new(1, vec![0u8; 64]).into(),
-                    ),
+                    (Time::from_nanos(240), PortId::new(4), Packet::new(1, vec![0u8; 64]).into()),
                 ],
             );
             black_box(emissions.len())
@@ -52,8 +48,7 @@ fn bench_e06_multicast_fanout(c: &mut Criterion) {
             let mut hub = Hub::new(HubId::new(0), HubConfig::prototype());
             let mut arrivals: Vec<(Time, PortId, Item)> = (0..4u8)
                 .map(|i| {
-                    let cmd =
-                        Command::open(false, false, false, HubId::new(0), PortId::new(4 + i));
+                    let cmd = Command::open(false, false, false, HubId::new(0), PortId::new(4 + i));
                     (Time::from_nanos(i as u64 * 240), PortId::new(0), Item::from(cmd))
                 })
                 .collect();

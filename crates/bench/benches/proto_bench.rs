@@ -51,7 +51,8 @@ fn bench_bytestream_roundtrip(c: &mut Criterion) {
                 let mut next = Vec::new();
                 for action in pending.drain(..) {
                     if let Action::Send { header, payload } = action {
-                        let target = if header.dst_cab == CabId::new(1) { &mut rx } else { &mut tx };
+                        let target =
+                            if header.dst_cab == CabId::new(1) { &mut rx } else { &mut tx };
                         let mut out = Vec::new();
                         target.on_packet(Time::ZERO, &header, &payload, &mut out);
                         for a in out {
@@ -62,10 +63,7 @@ fn bench_bytestream_roundtrip(c: &mut Criterion) {
                         }
                     }
                 }
-                pending = next
-                    .into_iter()
-                    .filter(|a| matches!(a, Action::Send { .. }))
-                    .collect();
+                pending = next.into_iter().filter(|a| matches!(a, Action::Send { .. })).collect();
             }
             black_box(delivered)
         })

@@ -1,0 +1,269 @@
+//! Scheduler microbenchmarks: the slab-indexed engine against the
+//! repository's original `BinaryHeap` + tombstone-set engine.
+//!
+//! `mod seed` below is a trimmed copy of the engine this repository
+//! seeded with (BinaryHeap of entries, `live`/`cancelled` HashSets,
+//! tombstone GC on cancel) so the before/after ratio stays measurable
+//! after the rewrite. The workloads mirror what the world actually
+//! does: schedule/step churn at mixed horizons, a schedule/cancel mix
+//! (transport timers are armed and nearly always cancelled by the ack
+//! before they fire), and same-instant batch drains (HUB cycles).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nectar_sim::engine::Engine;
+use nectar_sim::time::Dur;
+
+/// The seed scheduler, verbatim in structure: max-heap of inverted
+/// entries plus hash-set liveness tracking and tombstone GC.
+mod seed {
+    use nectar_sim::time::{Dur, Time};
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct EventId(u64);
+
+    struct Entry<E> {
+        at: Time,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    pub struct Engine<E> {
+        now: Time,
+        heap: BinaryHeap<Entry<E>>,
+        live: HashSet<u64>,
+        cancelled: HashSet<u64>,
+        next_seq: u64,
+    }
+
+    impl<E> Engine<E> {
+        pub fn new() -> Engine<E> {
+            Engine {
+                now: Time::ZERO,
+                heap: BinaryHeap::new(),
+                live: HashSet::new(),
+                cancelled: HashSet::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn schedule(&mut self, delay: Dur, payload: E) -> EventId {
+            let at = self.now + delay;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, payload });
+            self.live.insert(seq);
+            EventId(seq)
+        }
+
+        fn gc_top(&mut self) {
+            while let Some(top) = self.heap.peek() {
+                if self.cancelled.contains(&top.seq) {
+                    let dead = self.heap.pop().expect("peeked");
+                    self.cancelled.remove(&dead.seq);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        pub fn cancel(&mut self, id: EventId) -> bool {
+            if !self.live.remove(&id.0) {
+                return false;
+            }
+            self.cancelled.insert(id.0);
+            self.gc_top();
+            true
+        }
+
+        pub fn step(&mut self) -> Option<E> {
+            let entry = self.heap.pop()?;
+            self.live.remove(&entry.seq);
+            self.gc_top();
+            self.now = entry.at;
+            Some(entry.payload)
+        }
+
+        pub fn peek_time(&self) -> Option<Time> {
+            self.heap.peek().map(|e| e.at)
+        }
+    }
+}
+
+/// Pseudo-random but deterministic delays spanning three decades, like
+/// a live world (70 ns HUB cycles to millisecond transport timers).
+fn delay(i: u64) -> Dur {
+    Dur::from_nanos(70 + (i.wrapping_mul(0x9E37_79B9)) % 100_000)
+}
+
+const CHURN: u64 = 10_000;
+const BACKLOG: u64 = 256;
+
+/// schedule/step churn over a standing backlog of `BACKLOG` events.
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_churn");
+    g.throughput(Throughput::Elements(CHURN * 2));
+    g.bench_function("slab", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..BACKLOG {
+                eng.schedule(delay(i), i);
+            }
+            for i in 0..CHURN {
+                let v = eng.step().unwrap();
+                eng.schedule(delay(i.wrapping_add(v)), i);
+            }
+            black_box(eng.pending())
+        })
+    });
+    g.bench_function("seed", |b| {
+        b.iter(|| {
+            let mut eng: seed::Engine<u64> = seed::Engine::new();
+            for i in 0..BACKLOG {
+                eng.schedule(delay(i), i);
+            }
+            for i in 0..CHURN {
+                let v = eng.step().unwrap();
+                eng.schedule(delay(i.wrapping_add(v)), i);
+            }
+            black_box(eng.peek_time())
+        })
+    });
+    g.finish();
+}
+
+/// Transport-timer pattern: schedule a far-out timer, cancel it almost
+/// always (the ack arrived), occasionally let one fire.
+fn bench_cancel_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_cancel_mix");
+    g.throughput(Throughput::Elements(CHURN * 2));
+    g.bench_function("slab", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..BACKLOG {
+                eng.schedule(delay(i), i);
+            }
+            for i in 0..CHURN {
+                let id = eng.schedule(Dur::from_micros(500), i);
+                if i % 16 != 0 {
+                    eng.cancel(id);
+                } else {
+                    eng.step();
+                }
+            }
+            black_box(eng.pending())
+        })
+    });
+    g.bench_function("seed", |b| {
+        b.iter(|| {
+            let mut eng: seed::Engine<u64> = seed::Engine::new();
+            for i in 0..BACKLOG {
+                eng.schedule(delay(i), i);
+            }
+            for i in 0..CHURN {
+                let id = eng.schedule(Dur::from_micros(500), i);
+                if i % 16 != 0 {
+                    eng.cancel(id);
+                } else {
+                    eng.step();
+                }
+            }
+            black_box(eng.peek_time())
+        })
+    });
+    g.finish();
+}
+
+/// HUB-cycle pattern: many events per 70 ns instant, drained per
+/// instant — batched on the slab engine, peek/step on the seed.
+fn bench_batch_drain(c: &mut Criterion) {
+    const INSTANTS: u64 = 500;
+    const PER_INSTANT: u64 = 16;
+    let mut g = c.benchmark_group("sched_batch_drain");
+    g.throughput(Throughput::Elements(INSTANTS * PER_INSTANT));
+    g.bench_function("slab_step_batch", |b| {
+        let mut buf: Vec<u64> = Vec::new();
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for t in 0..INSTANTS {
+                for i in 0..PER_INSTANT {
+                    eng.schedule(Dur::from_nanos(70 * (t + 1)), t * PER_INSTANT + i);
+                }
+            }
+            let mut sum = 0u64;
+            while let Some(at) = eng.step_batch(&mut buf) {
+                sum = sum.wrapping_add(at.nanos());
+                sum = sum.wrapping_add(buf.drain(..).sum::<u64>());
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("seed_peek_step", |b| {
+        b.iter(|| {
+            let mut eng: seed::Engine<u64> = seed::Engine::new();
+            for t in 0..INSTANTS {
+                for i in 0..PER_INSTANT {
+                    eng.schedule(Dur::from_nanos(70 * (t + 1)), t * PER_INSTANT + i);
+                }
+            }
+            let mut sum = 0u64;
+            while let Some(at) = eng.peek_time() {
+                sum = sum.wrapping_add(at.nanos());
+                while eng.peek_time() == Some(at) {
+                    sum = sum.wrapping_add(eng.step().unwrap());
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+/// End-of-run report: the acceptance ratio (slab must be >= 2x seed on
+/// scheduler-op throughput) printed from the same measurements.
+fn bench_summary(c: &mut Criterion) {
+    let pairs = [
+        ("sched_churn/slab", "sched_churn/seed"),
+        ("sched_cancel_mix/slab", "sched_cancel_mix/seed"),
+        ("sched_batch_drain/slab_step_batch", "sched_batch_drain/seed_peek_step"),
+    ];
+    let mut log_sum = 0.0f64;
+    let mut counted = 0u32;
+    for (new, old) in pairs {
+        if let (Some(n), Some(o)) = (c.mean_of(new), c.mean_of(old)) {
+            if !n.is_zero() {
+                let ratio = o.as_secs_f64() / n.as_secs_f64();
+                log_sum += ratio.ln();
+                counted += 1;
+                println!("speedup {new} vs {old}: {ratio:.2}x");
+            }
+        }
+    }
+    if counted > 0 {
+        println!(
+            "scheduler-op throughput, geometric mean over {counted} workloads: {:.2}x vs seed",
+            (log_sum / counted as f64).exp()
+        );
+    }
+}
+
+criterion_group!(benches, bench_churn, bench_cancel_mix, bench_batch_drain, bench_summary);
+criterion_main!(benches);

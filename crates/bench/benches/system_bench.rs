@@ -30,10 +30,9 @@ fn bench_e04_ring(c: &mut Criterion) {
 /// E07: switching-mode comparison at one size.
 fn bench_e07_switching_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("e07_switching");
-    for (label, mode) in [
-        ("packet", SwitchingMode::PacketSwitched),
-        ("circuit", SwitchingMode::CircuitCached),
-    ] {
+    for (label, mode) in
+        [("packet", SwitchingMode::PacketSwitched), ("circuit", SwitchingMode::CircuitCached)]
+    {
         g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
             b.iter(|| {
                 let cfg = SystemConfig { switching: mode, ..SystemConfig::default() };

@@ -1,30 +1,165 @@
 //! Prints the paper-vs-measured table for every experiment (or a
-//! selected subset named on the command line).
+//! selected subset named on the command line), optionally fanning the
+//! experiments out over worker threads, and writes a machine-readable
+//! `BENCH_sim.json` next to the report.
+//!
+//! Usage:
+//!
+//! ```text
+//! report [--list] [--jobs N] [--json PATH] [ids... | all]
+//! ```
+//!
+//! Every experiment builds its own world, so they are embarrassingly
+//! parallel: with `--jobs N` the registry is drained by `N` scoped
+//! worker threads claiming indices from an atomic counter. Output
+//! stays deterministic — tables are buffered and printed in registry
+//! order regardless of completion order.
 
+use nectar_bench::experiments::Experiment;
 use nectar_bench::registry;
+use nectar_bench::table::Table;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Outcome {
+    id: &'static str,
+    table: Table,
+    wall: Duration,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: report [--list] [--jobs N] [--json PATH] [ids... | all]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut jobs: usize = 1;
+    let mut json_path = String::from("BENCH_sim.json");
+    let mut ids: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" | "list" => list = true,
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_lowercase()),
+        }
+    }
     let reg = registry();
-    if args.iter().any(|a| a == "--list" || a == "list") {
+    if list {
         for (id, desc, _) in &reg {
             println!("{id:>5}  {desc}");
         }
         return;
     }
-    let selected: Vec<_> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let selected: Vec<_> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         reg
     } else {
-        let picked: Vec<_> = reg.into_iter().filter(|(id, _, _)| args.contains(&id.to_string())).collect();
+        let picked: Vec<_> =
+            reg.into_iter().filter(|(id, _, _)| ids.contains(&id.to_string())).collect();
         if picked.is_empty() {
-            eprintln!("no experiment matches {args:?}; try --list");
+            eprintln!("no experiment matches {ids:?}; try --list");
             std::process::exit(1);
         }
         picked
     };
     println!("Nectar reproduction — experiment report");
     println!("(shape reproduction: simulator seeded with the paper's constants)\n");
-    for (_, _, run) in selected {
-        println!("{}", run());
+
+    let results = run_experiments(&selected, jobs);
+    for r in &results {
+        println!("{}", r.table);
     }
+    let json = render_json(&results, jobs);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path} ({} experiments)", results.len()),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}
+
+/// Runs every selected experiment, on `jobs` worker threads when asked,
+/// and returns the outcomes in registry order.
+fn run_experiments(selected: &[Experiment], jobs: usize) -> Vec<Outcome> {
+    if jobs <= 1 || selected.len() <= 1 {
+        return selected
+            .iter()
+            .map(|&(id, _, run)| {
+                let t0 = Instant::now();
+                let table = run();
+                Outcome { id, table, wall: t0.elapsed() }
+            })
+            .collect();
+    }
+    let slots: Mutex<Vec<Option<Outcome>>> =
+        Mutex::new((0..selected.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(selected.len()) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(id, _, run)) = selected.get(idx) else { break };
+                let t0 = Instant::now();
+                let table = run();
+                let outcome = Outcome { id, table, wall: t0.elapsed() };
+                slots.lock().expect("no worker panicked holding the lock")[idx] = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|o| o.expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the per-experiment results as `BENCH_sim.json`: wall time,
+/// events processed, and events/sec for every experiment plus totals.
+fn render_json(results: &[Outcome], jobs: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    let total_events: u64 = results.iter().map(|r| r.table.events).sum();
+    let total_wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+    s.push_str(&format!("  \"total_events\": {total_events},\n"));
+    s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", total_wall * 1e3));
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let wall_s = r.wall.as_secs_f64();
+        let eps = if wall_s > 0.0 { r.table.events as f64 / wall_s } else { 0.0 };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            json_escape(r.id),
+            json_escape(&r.table.title),
+            wall_s * 1e3,
+            r.table.events,
+            eps,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

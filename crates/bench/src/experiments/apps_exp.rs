@@ -14,6 +14,7 @@ pub fn e16_vision() -> Table {
     );
     let cfg = VisionConfig::default();
     let report = run_vision(&cfg, SystemConfig::default());
+    t.record_events(report.events);
     t.row(&[
         "image tile throughput (256 KB frames)".into(),
         "high bandwidth for image transfer".into(),
@@ -50,6 +51,7 @@ pub fn e17_production() -> Table {
     );
     let cfg = ProductionConfig::default();
     let report = run_production(&cfg, SystemConfig::default());
+    t.record_events(report.events);
     t.row(&[
         "tokens matched".into(),
         format!("{}", cfg.max_tokens),
@@ -150,8 +152,8 @@ pub fn ablations() -> Table {
         let cfg = SystemConfig { switching, ..SystemConfig::default() };
         let mut s = NectarSystem::single_hub(2, cfg);
         s.measure_cab_to_cab(0, 1, 64); // warm
-        // Let the warm-up's acknowledgements drain so they do not share
-        // the measured window.
+                                        // Let the warm-up's acknowledgements drain so they do not share
+                                        // the measured window.
         let settle = s.world().now() + Dur::from_millis(1);
         s.world_mut().run_until(settle);
         s.measure_cab_to_cab(0, 1, 64).latency
@@ -203,10 +205,8 @@ mod tests {
     #[test]
     fn ablation_flow_control_matters() {
         let t = ablations();
-        let with_fc: u64 =
-            t.rows[1][1].trim_end_matches(" overflows").parse().unwrap();
-        let without: u64 =
-            t.rows[1][2].trim_end_matches(" overflows").parse().unwrap();
+        let with_fc: u64 = t.rows[1][1].trim_end_matches(" overflows").parse().unwrap();
+        let without: u64 = t.rows[1][2].trim_end_matches(" overflows").parse().unwrap();
         assert_eq!(with_fc, 0, "flow control prevents overruns");
         assert!(without > 0, "the ablation shows the loss");
     }

@@ -47,6 +47,7 @@ pub fn e08_lan_comparison() -> Table {
     ]);
     t.note("paper: \"the Nectar-net offers at least an order of magnitude improvement in");
     t.note("bandwidth and latency over current LANs\"");
+    t.record_events(sys.world().events_processed());
     t
 }
 
@@ -60,11 +61,8 @@ pub fn e15_contention() -> Table {
     );
     for &offered in &[2u64, 5, 8, 12, 16] {
         let mut lan = LanSystem::new(16, LanConfig::default());
-        let report = lan.offered_load_run(
-            Bandwidth::from_mbit_per_sec(offered),
-            512,
-            Dur::from_millis(400),
-        );
+        let report =
+            lan.offered_load_run(Bandwidth::from_mbit_per_sec(offered), 512, Dur::from_millis(400));
         t.row(&[
             format!("{offered} Mbit/s"),
             mbit(report.delivered),
@@ -75,6 +73,7 @@ pub fn e15_contention() -> Table {
     // The Nectar side of the same story: 16 concurrent streams.
     let mut sys = NectarSystem::single_hub(16, SystemConfig::default());
     let agg = sys.measure_ring_aggregate(64 * 1024, 8192);
+    t.record_events(sys.world().events_processed());
     t.note(format!(
         "Nectar 16-CAB crossbar under the same full-mesh pressure delivers {} aggregate \
          (no shared-medium collapse)",
@@ -100,11 +99,8 @@ mod tests {
     #[test]
     fn e15_lan_saturates_below_wire_rate() {
         let t = e15_contention();
-        let delivered: Vec<f64> = t
-            .rows
-            .iter()
-            .map(|r| r[1].trim_end_matches(" Mbit/s").parse().unwrap())
-            .collect();
+        let delivered: Vec<f64> =
+            t.rows.iter().map(|r| r[1].trim_end_matches(" Mbit/s").parse().unwrap()).collect();
         assert!(delivered.iter().all(|&d| d < 10.0));
         // Light load is delivered nearly in full; heavy load is not.
         assert!(delivered[0] > 1.5);

@@ -4,12 +4,12 @@
 
 use crate::table::{mbit, us, Table};
 use nectar_apps::dsm::{run_dsm, DsmConfig};
+use nectar_apps::transactions::{run_transactions, TxnConfig};
+use nectar_core::node::NodeKind;
 use nectar_core::prelude::*;
 use nectar_hub::config::HubConfig;
 use nectar_proto::header::MAX_FRAGMENT_PAYLOAD;
 use nectar_proto::inet::{AddressMap, IpHeader, IpProto, IPV4_HEADER_BYTES};
-use nectar_apps::transactions::{run_transactions, TxnConfig};
-use nectar_core::node::NodeKind;
 use nectar_sim::time::Dur;
 use std::net::Ipv4Addr;
 
@@ -79,8 +79,14 @@ pub fn e20_vlsi_projection() -> Table {
     ]);
     t.row(&[
         "aggregate port bandwidth".into(),
-        format!("{:.1} Gbit/s", proto.ports as f64 * proto.fiber_bandwidth.as_mbit_per_sec_f64() / 1e3),
-        format!("{:.1} Gbit/s", vlsi.ports as f64 * vlsi.fiber_bandwidth.as_mbit_per_sec_f64() / 1e3),
+        format!(
+            "{:.1} Gbit/s",
+            proto.ports as f64 * proto.fiber_bandwidth.as_mbit_per_sec_f64() / 1e3
+        ),
+        format!(
+            "{:.1} Gbit/s",
+            vlsi.ports as f64 * vlsi.fiber_bandwidth.as_mbit_per_sec_f64() / 1e3
+        ),
     ]);
     // Measured: 24-CAB ring on one VLSI HUB vs three chained prototype
     // HUBs that the same CAB count would need.
@@ -247,7 +253,8 @@ pub fn e23_transactions() -> Table {
         format!("{:.0} txn/s", report.commit_rate()),
     ]);
     let lan_stack = nectar_lan::stack::UnixStackConfig::bsd_1988();
-    let lan_round = lan_stack.send_packet(cfg.record_bytes) + lan_stack.recv_packet(cfg.record_bytes);
+    let lan_round =
+        lan_stack.send_packet(cfg.record_bytes) + lan_stack.recv_packet(cfg.record_bytes);
     t.row(&[
         "LAN bound per RPC round".into(),
         "software only, per participant".into(),
@@ -281,8 +288,7 @@ pub fn e24_task_mapping() -> Table {
     // Two clusters of four CABs, one inter-hub link.
     let topo = nectar_core::topology::Topology::mesh2d(1, 2, 4, 16);
     let measure = |placement: &Placement| -> nectar_sim::time::Dur {
-        let mut world =
-            nectar_core::world::World::new(topo.clone(), SystemConfig::default());
+        let mut world = nectar_core::world::World::new(topo.clone(), SystemConfig::default());
         let t0 = world.now();
         let mut expected = 0usize;
         for &(a, b, weight) in g.flows() {

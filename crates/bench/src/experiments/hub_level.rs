@@ -51,7 +51,11 @@ pub fn e01_hub_latency() -> Table {
 
 /// E02 — controller switching rate: one connection per 70 ns cycle.
 pub fn e02_switch_rate() -> Table {
-    let mut t = Table::new("E02", "controller switching rate (§4 goal 2)", &["metric", "paper", "measured"]);
+    let mut t = Table::new(
+        "E02",
+        "controller switching rate (§4 goal 2)",
+        &["metric", "paper", "measured"],
+    );
     let mut hub = Hub::new(HubId::new(0), HubConfig::prototype());
     // Four simultaneous opens from four ports; data behind each.
     let mut arrivals = Vec::new();
@@ -67,10 +71,8 @@ pub fn e02_switch_rate() -> Table {
     let emissions = drive_hub(&mut hub, arrivals);
     let mut first_bytes: Vec<Time> = packet_emissions(&emissions).iter().map(|e| e.at).collect();
     first_bytes.sort();
-    let gaps: Vec<String> = first_bytes
-        .windows(2)
-        .map(|w| format!("{}", w[1].saturating_since(w[0])))
-        .collect();
+    let gaps: Vec<String> =
+        first_bytes.windows(2).map(|w| format!("{}", w[1].saturating_since(w[0]))).collect();
     t.row(&[
         "spacing of consecutive connection setups".into(),
         "70 ns (one per cycle)".into(),
@@ -102,7 +104,11 @@ pub fn fig7_topology() -> (Topology, [usize; 5]) {
 /// E05 — the Fig. 7 circuit-switching walk: CAB3 to CAB1 through HUB2
 /// and HUB1, exactly the §4.2.1 command sequence.
 pub fn e05_fig7_circuit() -> Table {
-    let mut t = Table::new("E05", "Fig. 7 circuit switching across four HUBs (§4.2.1)", &["metric", "paper", "measured"]);
+    let mut t = Table::new(
+        "E05",
+        "Fig. 7 circuit switching across four HUBs (§4.2.1)",
+        &["metric", "paper", "measured"],
+    );
     let (topo, cabs) = fig7_topology();
     let route = topo.route(cabs[2], cabs[0]).unwrap();
     t.row(&[
@@ -141,6 +147,7 @@ pub fn e05_fig7_circuit() -> Table {
     ]);
     t.note("data follows the opens in FIFO order, so no reply wait is on the critical path");
     t.note("hub ids are zero-based here: the paper's HUB2 is HUB1, HUB1 is HUB0");
+    t.record_events(sys.world().events_processed());
     t
 }
 
@@ -155,6 +162,7 @@ pub fn e06_multicast() -> Table {
         let mut sys = NectarSystem::single_hub(fanout + 2, SystemConfig::default());
         let dsts: Vec<usize> = (1..=fanout).collect();
         let (mc, uc) = sys.measure_multicast_vs_unicast(0, &dsts, 512);
+        t.record_events(sys.world().events_processed());
         t.row(&[
             format!("{fanout}"),
             us(mc),
@@ -177,18 +185,16 @@ pub fn e07_circuit_vs_packet() -> Table {
     for &size in &[64usize, 512, 1024, 4096, 16384, 65536] {
         let mut ps = NectarSystem::single_hub(2, SystemConfig::default());
         let lat_ps = ps.measure_cab_to_cab(0, 1, size).latency;
-        let cfg = SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
+        let cfg =
+            SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
         let mut cs = NectarSystem::single_hub(2, cfg);
         // Warm the circuit, then measure.
         cs.measure_cab_to_cab(0, 1, 16);
         let lat_cs = cs.measure_cab_to_cab(0, 1, size).latency;
+        t.record_events(ps.world().events_processed());
+        t.record_events(cs.world().events_processed());
         let frags = nectar_proto::transport::frag::fragment_count(size, 990);
-        t.row(&[
-            format!("{size} B"),
-            us(lat_ps),
-            us(lat_cs),
-            format!("{frags}"),
-        ]);
+        t.row(&[format!("{size} B"), us(lat_ps), us(lat_cs), format!("{frags}")]);
     }
     t.note("paper: circuit setup is small vs packet transmission time, so the modes stay close");
     t.note("packets above 1 KB must fragment (queue-limited) under packet switching");

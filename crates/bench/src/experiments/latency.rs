@@ -41,13 +41,15 @@ pub fn e03_latency_goals() -> Table {
         format!("{hub_setup}"),
         yesno(hub_setup < Dur::from_micros(1)),
     ]);
+    t.record_events(sys.world().events_processed());
     t
 }
 
 /// E09 — kernel operation costs: thread switch 10–15 µs, interrupt
 /// path, mailbox operations (§6.1).
 pub fn e09_kernel_ops() -> Table {
-    let mut t = Table::new("E09", "CAB kernel operation costs (§6.1)", &["operation", "paper", "measured"]);
+    let mut t =
+        Table::new("E09", "CAB kernel operation costs (§6.1)", &["operation", "paper", "measured"]);
     let timings = CabTimings::prototype();
     // Measure the switch the same way the paper did: run two threads
     // alternately and time the gap.
@@ -57,11 +59,7 @@ pub fn e09_kernel_ops() -> Table {
     let (_, e1) = sched.run(Time::ZERO, a, Dur::from_micros(1));
     let (s2, _) = sched.run(e1, b, Dur::from_micros(1));
     let switch = s2.saturating_since(e1);
-    t.row(&[
-        "thread switch (register windows)".into(),
-        "10-15 us".into(),
-        us(switch),
-    ]);
+    t.row(&["thread switch (register windows)".into(), "10-15 us".into(), us(switch)]);
     t.row(&[
         "interrupt entry (reserved trap window)".into(),
         "\"reduced overhead\"".into(),
@@ -86,7 +84,7 @@ pub fn e09_kernel_ops() -> Table {
     let mut total = Dur::ZERO;
     for (label, d) in nectar_core::system::latency_budget(&cfg, 64) {
         t.row(&[format!("budget: {label}"), "-".into(), us(d)]);
-        total = total + d;
+        total += d;
     }
     t.row(&["budget: total (64 B, one HUB)".into(), "< 30 us".into(), us(total)]);
     t
@@ -104,6 +102,7 @@ pub fn e12_node_interfaces() -> Table {
         for &size in &[64usize, 4096, 65536] {
             let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
             let r = sys.measure_node_to_node(0, 1, size, iface);
+            t.record_events(sys.world().events_processed());
             cells.push(us(r.latency));
         }
         t.row(&cells);
@@ -134,13 +133,18 @@ pub fn e14_mesh_scaling() -> Table {
         t.row(&[format!("{hops}"), us(r.latency), inc]);
         prev = Some(r.latency);
     }
+    t.record_events(sys.world().events_processed());
     t.note("paper: \"latency of process to process communication in a multi-HUB system is not");
     t.note("significantly higher\" — each extra HUB adds ~store-and-forward of one small packet");
     t
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

@@ -11,8 +11,11 @@ pub mod transport_exp;
 
 use crate::table::Table;
 
-/// All experiments in DESIGN.md order: `(id, description, runner)`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn() -> Table)> {
+/// One registry entry: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> Table);
+
+/// All experiments in DESIGN.md order.
+pub fn registry() -> Vec<Experiment> {
     vec![
         ("e01", "HUB latency & pipelining", hub_level::e01_hub_latency as fn() -> Table),
         ("e02", "controller switching rate", hub_level::e02_switch_rate),

@@ -18,15 +18,13 @@ pub fn e04_aggregate_bandwidth() -> Table {
     );
     let mut single = NectarSystem::single_hub(2, SystemConfig::default());
     let one = single.measure_stream_throughput(0, 1, 256 * 1024, 8192);
-    t.row(&[
-        "single stream, one fiber".into(),
-        "<= 100 Mbit/s".into(),
-        mbit(one.rate),
-    ]);
+    t.record_events(single.world().events_processed());
+    t.row(&["single stream, one fiber".into(), "<= 100 Mbit/s".into(), mbit(one.rate)]);
     let mut last_util = 0.0;
     for cabs in [4usize, 8, 16] {
         let mut sys = NectarSystem::single_hub(cabs, SystemConfig::default());
         let agg = sys.measure_ring_aggregate(96 * 1024, 8192);
+        t.record_events(sys.world().events_processed());
         last_util = sys.world().fiber_utilization(0);
         t.row(&[
             format!("{cabs}-CAB ring through the crossbar"),
@@ -114,10 +112,8 @@ pub fn e13_cab_memory() -> Table {
         format!("{sum:.1} MB/s"),
     ]);
     // Overload case: shrink the memory to show arbitration binding.
-    let timings = CabTimings {
-        data_memory_bw: Bandwidth::from_mbyte_per_sec(20),
-        ..CabTimings::prototype()
-    };
+    let timings =
+        CabTimings { data_memory_bw: Bandwidth::from_mbyte_per_sec(20), ..CabTimings::prototype() };
     let mut starved = DmaController::new(timings);
     let _ = starved.start(Time::ZERO, Channel::FiberIn, 100_000);
     let slow = starved.start(Time::ZERO, Channel::FiberOut, 100_000);
@@ -132,11 +128,8 @@ pub fn e13_cab_memory() -> Table {
 /// E18 — the CAB keeps up with 100 Mbit/s in both directions at once
 /// (§5.1 requirement 1).
 pub fn e18_full_duplex() -> Table {
-    let mut t = Table::new(
-        "E18",
-        "CAB full-duplex fiber rate (§5.1)",
-        &["direction", "paper", "measured"],
-    );
+    let mut t =
+        Table::new("E18", "CAB full-duplex fiber rate (§5.1)", &["direction", "paper", "measured"]);
     let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
     let total = 256 * 1024;
     let t0 = sys.world().now();
@@ -159,8 +152,8 @@ pub fn e18_full_duplex() -> Table {
         }
     }
     let elapsed = sys.world().now().saturating_since(t0);
-    let per_dir =
-        ((total as u128 * 8 * 1_000_000_000) / elapsed.nanos().max(1) as u128) as u64;
+    t.record_events(sys.world().events_processed());
+    let per_dir = ((total as u128 * 8 * 1_000_000_000) / elapsed.nanos().max(1) as u128) as u64;
     t.row(&[
         "0 -> 1 and 1 -> 0 concurrently".into(),
         "100 Mbit/s each direction".into(),
@@ -209,10 +202,7 @@ mod tests {
     #[test]
     fn e18_both_directions_fast() {
         let t = e18_full_duplex();
-        let v: f64 = t.rows[0][2]
-            .trim_end_matches(" Mbit/s per direction")
-            .parse()
-            .unwrap();
+        let v: f64 = t.rows[0][2].trim_end_matches(" Mbit/s per direction").parse().unwrap();
         assert!(v > 70.0, "per-direction rate {v}");
     }
 }

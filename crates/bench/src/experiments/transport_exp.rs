@@ -23,14 +23,12 @@ pub fn e10_transports() -> Table {
         sys.world_mut().run_until(next);
     }
     let dgram = sys.world().deliveries[0].at.saturating_since(t0);
-    t.row(&[
-        "datagram".into(),
-        "unreliable, one packet".into(),
-        format!("{} one-way", us(dgram)),
-    ]);
+    t.record_events(sys.world().events_processed());
+    t.row(&["datagram".into(), "unreliable, one packet".into(), format!("{} one-way", us(dgram))]);
     // Byte-stream one-way.
     let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
     let bs = sys.measure_cab_to_cab(0, 1, 64).latency;
+    t.record_events(sys.world().events_processed());
     t.row(&[
         "byte-stream".into(),
         "reliable, windowed, ordered".into(),
@@ -39,11 +37,8 @@ pub fn e10_transports() -> Table {
     // Request-response RTT.
     let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
     let rtt = sys.measure_rpc_rtt(0, 1, 64, 64);
-    t.row(&[
-        "request-response".into(),
-        "at-most-once RPC".into(),
-        format!("{} RTT", us(rtt)),
-    ]);
+    t.record_events(sys.world().events_processed());
+    t.row(&["request-response".into(), "at-most-once RPC".into(), format!("{} RTT", us(rtt))]);
     t.note("datagram is the floor (no ack machinery); byte-stream adds negligible one-way cost;");
     t.note("RPC RTT is roughly two crossings plus server turnaround");
     t
@@ -73,13 +68,12 @@ pub fn e10_loss_recovery() -> Table {
             }
             sys.world_mut().run_until(next);
         }
-        let intact = sys
-            .world_mut()
-            .mailbox_take(1, 2)
-            .map(|m| m.data() == &data[..])
-            .unwrap_or(false);
+        let intact =
+            sys.world_mut().mailbox_take(1, 2).map(|m| m.data() == &data[..]).unwrap_or(false);
         let stats = sys.world().stream_stats(0, 1).unwrap();
-        let elapsed = sys.world().deliveries.last().map_or(Dur::ZERO, |d| d.at.saturating_since(t0));
+        let elapsed =
+            sys.world().deliveries.last().map_or(Dur::ZERO, |d| d.at.saturating_since(t0));
+        t.record_events(sys.world().events_processed());
         t.row(&[
             format!("{:.0}%", loss * 100.0),
             if intact { "yes".into() } else { "NO".into() },
@@ -105,6 +99,7 @@ pub fn e10_window_sweep() -> Table {
         };
         let mut sys = NectarSystem::single_hub(2, cfg);
         let tp = sys.measure_stream_throughput(0, 1, 256 * 1024, 8192);
+        t.record_events(sys.world().events_processed());
         t.row(&[format!("{window}"), mbit(tp.rate)]);
     }
     t.note("the HUB ready-bit protocol allows one packet per fiber hop, so the transport window");
@@ -134,8 +129,7 @@ pub fn e10_rpc_loss() -> Table {
             // response shows up (or the client times out).
             let deadline = t0 + Dur::from_millis(20);
             let mut responded = false;
-            loop {
-                let Some(next) = sys.world().next_event_time() else { break };
+            while let Some(next) = sys.world().next_event_time() {
                 if next > deadline {
                     break;
                 }
@@ -160,6 +154,7 @@ pub fn e10_rpc_loss() -> Table {
         let executions =
             sys.world().deliveries.iter().filter(|d| d.cab == 1 && d.mailbox == 80).count();
         let _ = Time::ZERO;
+        t.record_events(sys.world().events_processed());
         t.row(&[
             format!("{:.0}%", loss * 100.0),
             format!("{calls}"),

@@ -19,6 +19,10 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (substitutions, calibration remarks).
     pub notes: Vec<String>,
+    /// Simulation events processed while producing this table (0 for
+    /// purely analytic experiments). Feeds the harness's events/sec
+    /// accounting in `BENCH_sim.json`.
+    pub events: u64,
 }
 
 impl Table {
@@ -30,7 +34,14 @@ impl Table {
             columns: columns.iter().map(|c| c.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            events: 0,
         }
+    }
+
+    /// Accumulates simulation events into the table's counter. Call
+    /// once per world the experiment drove (before dropping it).
+    pub fn record_events(&mut self, n: u64) {
+        self.events += n;
     }
 
     /// Adds a row.

@@ -31,7 +31,8 @@ pub enum Channel {
 
 impl Channel {
     /// All four channels.
-    pub const ALL: [Channel; 4] = [Channel::FiberIn, Channel::FiberOut, Channel::VmeIn, Channel::VmeOut];
+    pub const ALL: [Channel; 4] =
+        [Channel::FiberIn, Channel::FiberOut, Channel::VmeIn, Channel::VmeOut];
 
     const fn index(self) -> usize {
         match self {
@@ -126,12 +127,7 @@ pub struct DmaController {
 impl DmaController {
     /// A controller with all channels idle.
     pub fn new(timings: CabTimings) -> DmaController {
-        DmaController {
-            timings,
-            busy_until: [Time::ZERO; 4],
-            transfers_started: 0,
-            bytes_moved: 0,
-        }
+        DmaController { timings, busy_until: [Time::ZERO; 4], transfers_started: 0, bytes_moved: 0 }
     }
 
     /// The medium rate of a channel.
@@ -264,8 +260,10 @@ mod tests {
     fn memory_bandwidth_caps_overload() {
         // Shrink memory bandwidth so sharing binds: 20 MB/s across two
         // active fibers -> 10 MB/s each, below the 12.5 MB/s fiber rate.
-        let timings =
-            CabTimings { data_memory_bw: Bandwidth::from_mbyte_per_sec(20), ..CabTimings::prototype() };
+        let timings = CabTimings {
+            data_memory_bw: Bandwidth::from_mbyte_per_sec(20),
+            ..CabTimings::prototype()
+        };
         let mut d = DmaController::new(timings);
         let _a = d.start(Time::ZERO, Channel::FiberIn, 100_000);
         let b = d.start(Time::ZERO, Channel::FiberOut, 100_000);
@@ -278,7 +276,14 @@ mod tests {
         let mut d = dma();
         let prot = ProtectionTable::new();
         let err = d
-            .start_checked(Time::ZERO, Channel::FiberOut, PROGRAM_RAM_BASE, 64, &prot, Domain::KERNEL)
+            .start_checked(
+                Time::ZERO,
+                Channel::FiberOut,
+                PROGRAM_RAM_BASE,
+                64,
+                &prot,
+                Domain::KERNEL,
+            )
             .unwrap_err();
         assert!(matches!(err, DmaError::NotDataMemory { .. }));
         assert_eq!(d.transfers_started(), 0, "no state change on error");

@@ -68,7 +68,7 @@ pub fn region_of(addr: CabAddr) -> Option<Region> {
         Some(Region::ProgramRam)
     } else if a < PROM_BYTES + PROGRAM_RAM_BYTES + DATA_RAM_BYTES {
         Some(Region::DataRam)
-    } else if a >= DEVICE_BASE.0 && a < ADDRESS_SPACE_BYTES {
+    } else if (DEVICE_BASE.0..ADDRESS_SPACE_BYTES).contains(&a) {
         Some(Region::Devices)
     } else {
         None

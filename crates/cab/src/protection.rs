@@ -88,7 +88,9 @@ impl Perms {
 
     /// `true` if `self` allows every access `needed` asks for.
     pub fn allows(self, needed: Perms) -> bool {
-        (!needed.read || self.read) && (!needed.write || self.write) && (!needed.execute || self.execute)
+        (!needed.read || self.read)
+            && (!needed.write || self.write)
+            && (!needed.execute || self.execute)
     }
 
     fn bits(self) -> u8 {

@@ -18,10 +18,7 @@ enum AllocOp {
 }
 
 fn alloc_op() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        (1u32..200_000).prop_map(AllocOp::Alloc),
-        any::<usize>().prop_map(AllocOp::Free),
-    ]
+    prop_oneof![(1u32..200_000).prop_map(AllocOp::Alloc), any::<usize>().prop_map(AllocOp::Free),]
 }
 
 proptest! {

@@ -94,11 +94,7 @@ impl Ipsc {
             }
             let progressed = self.system.world_mut().run_for(Dur::from_micros(20));
             if progressed == 0 && self.system.world().pending_events() == 0 {
-                return self
-                    .system
-                    .world_mut()
-                    .mailbox_take(node, mb)
-                    .map(|m| m.data().to_vec());
+                return self.system.world_mut().mailbox_take(node, mb).map(|m| m.data().to_vec());
             }
         }
     }
@@ -109,11 +105,7 @@ impl Ipsc {
         // A peek would do, but take-and-put-back keeps Mailbox simple;
         // instead run zero time and inspect via the world's records.
         let mb = Self::mailbox_for(msg_type);
-        self.system
-            .world()
-            .deliveries
-            .iter()
-            .any(|d| d.cab == node && d.mailbox == mb)
+        self.system.world().deliveries.iter().any(|d| d.cab == node && d.mailbox == mb)
     }
 
     /// Global synchronization: node 0 collects a token from every other

@@ -49,10 +49,14 @@ pub use world::SystemConfig;
 /// The most frequently used names, for glob import.
 pub mod prelude {
     pub use crate::ipsc::Ipsc;
-    pub use crate::mapping::{map_annealed, map_greedy, map_round_robin, predicted_cost, Placement, TaskGraph};
+    pub use crate::mapping::{
+        map_annealed, map_greedy, map_round_robin, predicted_cost, Placement, TaskGraph,
+    };
     pub use crate::nectarine::{Nectarine, TaskId};
     pub use crate::node::{NodeConfig, NodeInterface, NodeKind};
     pub use crate::system::{LatencyReport, NectarSystem, ThroughputReport};
     pub use crate::topology::{Peer, Topology, TopologyBuilder, TopologyError};
-    pub use crate::world::{AppSend, CabCounters, Delivery, Ev, SwitchingMode, SystemConfig, TimerSource, World};
+    pub use crate::world::{
+        AppSend, CabCounters, Delivery, Ev, SwitchingMode, SystemConfig, TimerSource, World,
+    };
 }

@@ -157,7 +157,13 @@ pub fn map_greedy(graph: &TaskGraph, topo: &Topology, capacity_per_cab: usize) -
         placed_mark[next] = true;
         order.push(next);
         for &(a, b, w) in graph.flows() {
-            let other = if a == next { b } else if b == next { a } else { continue };
+            let other = if a == next {
+                b
+            } else if b == next {
+                a
+            } else {
+                continue;
+            };
             if !placed_mark[other] {
                 attached[other] += w;
             }
@@ -174,7 +180,13 @@ pub fn map_greedy(graph: &TaskGraph, topo: &Topology, capacity_per_cab: usize) -
             // Incremental cost of placing `task` here.
             let mut cost = 0u64;
             for &(a, b, w) in graph.flows() {
-                let other = if a == task { b } else if b == task { a } else { continue };
+                let other = if a == task {
+                    b
+                } else if b == task {
+                    a
+                } else {
+                    continue;
+                };
                 if cab_of[other] == usize::MAX {
                     continue;
                 }
@@ -182,7 +194,8 @@ pub fn map_greedy(graph: &TaskGraph, topo: &Topology, capacity_per_cab: usize) -
                     cost += w * topo.hop_count(cab, cab_of[other]).expect("reachable") as u64;
                 }
             }
-            if cost < best.0 || (cost == best.0 && load[cab] < load.get(best.1).copied().unwrap_or(usize::MAX))
+            if cost < best.0
+                || (cost == best.0 && load[cab] < load.get(best.1).copied().unwrap_or(usize::MAX))
             {
                 best = (cost, cab);
             }

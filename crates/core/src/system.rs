@@ -215,7 +215,11 @@ impl NectarSystem {
     /// All-CABs ring traffic: CAB `i` streams `bytes_per_cab` to CAB
     /// `i+1 mod n` simultaneously; reports delivered aggregate rate
     /// (the 1.6 Gbit/s backplane claim, E04).
-    pub fn measure_ring_aggregate(&mut self, bytes_per_cab: usize, msg_size: usize) -> ThroughputReport {
+    pub fn measure_ring_aggregate(
+        &mut self,
+        bytes_per_cab: usize,
+        msg_size: usize,
+    ) -> ThroughputReport {
         let n = self.world.topology().cab_count();
         assert!(n >= 2, "a ring needs two CABs");
         let t0 = self.world.now();
@@ -229,7 +233,11 @@ impl NectarSystem {
         }
         let drain: Vec<(usize, u16)> = (0..n).map(|i| (i, 2)).collect();
         assert!(
-            self.run_until_deliveries_draining(before + n * messages, t0 + Dur::from_secs(60), &drain),
+            self.run_until_deliveries_draining(
+                before + n * messages,
+                t0 + Dur::from_secs(60),
+                &drain
+            ),
             "ring traffic did not finish"
         );
         let last = self.world.deliveries.last().expect("delivered");
@@ -276,15 +284,17 @@ impl NectarSystem {
 /// one HUB — the decomposition EXPERIMENTS.md records, as code so the
 /// harness can print it next to the measurement (E09).
 pub fn latency_budget(cfg: &SystemConfig, bytes: usize) -> Vec<(&'static str, Dur)> {
-    let wire_bytes = bytes
-        + nectar_proto::header::HEADER_BYTES
-        + nectar_hub::item::PACKET_FRAMING_BYTES;
+    let wire_bytes =
+        bytes + nectar_proto::header::HEADER_BYTES + nectar_hub::item::PACKET_FRAMING_BYTES;
     vec![
         ("send software (header + datalink + DMA setup)", cfg.cab.send_path()),
         ("HUB connection setup + transit", cfg.hub.connect_latency() + cfg.hub.transit),
         ("fiber serialization", cfg.hub.wire_time(wire_bytes)),
         ("receive software (interrupt + upcall + header + DMA)", cfg.cab.recv_path()),
-        ("application wakeup (thread switch + mailbox)", cfg.cab.thread_switch + cfg.cab.mailbox_op),
+        (
+            "application wakeup (thread switch + mailbox)",
+            cfg.cab.thread_switch + cfg.cab.mailbox_op,
+        ),
     ]
 }
 

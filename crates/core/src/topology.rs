@@ -272,11 +272,7 @@ impl Topology {
 
     /// What is wired to `hub`'s `port`.
     pub fn peer(&self, hub: usize, port: PortId) -> Peer {
-        self.peers
-            .get(hub)
-            .and_then(|ports| ports.get(port.index()))
-            .copied()
-            .unwrap_or(Peer::None)
+        self.peers.get(hub).and_then(|ports| ports.get(port.index())).copied().unwrap_or(Peer::None)
     }
 
     /// The (hub, port) a CAB is attached to.
@@ -366,7 +362,11 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `to` is empty or contains `from`.
-    pub fn multicast_route(&self, from: usize, to: &[usize]) -> Result<MulticastRoute, TopologyError> {
+    pub fn multicast_route(
+        &self,
+        from: usize,
+        to: &[usize],
+    ) -> Result<MulticastRoute, TopologyError> {
         assert!(!to.is_empty(), "multicast needs at least one destination");
         let mut opens: Vec<(Hop, bool)> = Vec::new();
         for &dst in to {
@@ -481,10 +481,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut b = TopologyBuilder::new(1, 8);
-        assert!(matches!(
-            b.add_cab(0, PortId::new(8)),
-            Err(TopologyError::PortOutOfRange { .. })
-        ));
+        assert!(matches!(b.add_cab(0, PortId::new(8)), Err(TopologyError::PortOutOfRange { .. })));
         assert!(matches!(b.add_cab(1, PortId::new(0)), Err(TopologyError::NoSuchHub { hub: 1 })));
     }
 

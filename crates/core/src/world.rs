@@ -17,6 +17,7 @@ use nectar_hub::effects::{Effects, InternalEv};
 use nectar_hub::hub::Hub;
 use nectar_hub::id::{HubId, PortId};
 use nectar_hub::item::{Item, Packet};
+use nectar_hub::pool::{BufPool, PoolStats};
 use nectar_kernel::mailbox::Mailbox;
 use nectar_kernel::thread::{Scheduler, ThreadId};
 use nectar_proto::datalink::Route;
@@ -88,6 +89,15 @@ impl Default for SystemConfig {
     }
 }
 
+/// Why [`World::run_to_quiescence`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuiescenceOutcome {
+    /// The event queue drained; the clock reads the settling time.
+    Quiescent,
+    /// Events were still pending past the deadline.
+    DeadlineReached,
+}
+
 /// Which protocol armed a timer (to route the expiry back).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TimerSource {
@@ -139,8 +149,10 @@ pub enum Ev {
     CabPacketReady {
         /// CAB index.
         cab: usize,
-        /// The packet's wire bytes (header + payload).
-        payload: Arc<[u8]>,
+        /// The packet's wire bytes (header + payload), shared with the
+        /// in-flight packet — no copy on receive, and the buffer is
+        /// reclaimed into the world's [`BufPool`] after processing.
+        payload: Arc<Vec<u8>>,
     },
     /// A protocol timer expires on a CAB.
     CabTimer {
@@ -297,6 +309,12 @@ pub struct World {
     cmd_faults: Option<CommandFaultInjector>,
     /// Packets destroyed by fault injection.
     pub faults_injected: u64,
+    /// Free-list of wire buffers (encode targets, reclaimed after
+    /// receive processing).
+    pool: BufPool,
+    /// Scratch for [`run_until`](World::run_until)'s batched drain;
+    /// kept across calls so the steady state never allocates.
+    batch: Vec<Ev>,
 }
 
 struct FaultInjector {
@@ -313,9 +331,8 @@ struct CommandFaultInjector {
 impl World {
     /// Builds a world over `topo`.
     pub fn new(topo: Topology, cfg: SystemConfig) -> World {
-        let hubs = (0..topo.hub_count())
-            .map(|i| Hub::new(HubId::new(i as u8), cfg.hub.clone()))
-            .collect();
+        let hubs =
+            (0..topo.hub_count()).map(|i| Hub::new(HubId::new(i as u8), cfg.hub.clone())).collect();
         let cabs = (0..topo.cab_count())
             .map(|i| {
                 let mut sched = Scheduler::new(cfg.cab.clone());
@@ -358,6 +375,8 @@ impl World {
             faults: None,
             cmd_faults: None,
             faults_injected: 0,
+            pool: BufPool::default(),
+            batch: Vec::new(),
         }
     }
 
@@ -438,11 +457,8 @@ impl World {
     /// work.
     pub fn query_hub_status(&mut self, cab: usize, hub: HubId, port: PortId) {
         let now = self.now();
-        let cmd = nectar_hub::command::Command::user(
-            nectar_hub::command::UserOp::QueryStatus,
-            hub,
-            port,
-        );
+        let cmd =
+            nectar_hub::command::Command::user(nectar_hub::command::UserOp::QueryStatus, hub, port);
         let cost = self.cfg.cab.datalink_packet;
         let app = self.cabs[cab].app_thread;
         self.cabs[cab].sched.assume_running(app);
@@ -489,16 +505,27 @@ impl World {
     /// `deadline`; either way the clock ends at `deadline` (or later if
     /// the last event ran past it). Returns the number of events
     /// processed.
+    ///
+    /// The drain is batched: every event sharing the earliest pending
+    /// timestamp is popped in one scheduler operation (a HUB cycle's
+    /// worth of emissions, ready signals, and internal transitions all
+    /// land on the same 70 ns grid), then dispatched in FIFO order.
+    /// Timer events cancelled by an earlier event in the same batch are
+    /// filtered by the timer table in [`dispatch`](World::dispatch).
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         let mut n = 0;
+        let mut batch = std::mem::take(&mut self.batch);
         while let Some(at) = self.engine.peek_time() {
             if at > deadline {
                 break;
             }
-            let ev = self.engine.step().expect("peeked");
-            self.dispatch(ev);
-            n += 1;
+            self.engine.step_batch(&mut batch);
+            n += batch.len() as u64;
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
         }
+        self.batch = batch;
         if self.engine.now() < deadline {
             self.engine.advance_to(deadline);
         }
@@ -508,6 +535,16 @@ impl World {
     /// Live events still queued.
     pub fn pending_events(&self) -> usize {
         self.engine.pending()
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_delivered()
+    }
+
+    /// Wire-buffer pool counters (hit rate, reclaim success).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Timestamp of the next live event, if any.
@@ -521,9 +558,33 @@ impl World {
         self.run_until(deadline)
     }
 
-    /// Runs until idle or `deadline`, whichever first.
-    pub fn run_to_quiescence(&mut self, deadline: Time) -> u64 {
-        self.run_until(deadline)
+    /// Runs until the event queue is empty or the clock would pass
+    /// `deadline`, whichever comes first.
+    ///
+    /// Unlike [`run_until`](World::run_until), the clock is **not**
+    /// advanced to the deadline when the system goes quiet early: it
+    /// stays at the last event, so the caller can read off when the
+    /// system actually settled. Returns the events processed and which
+    /// condition stopped the run.
+    pub fn run_to_quiescence(&mut self, deadline: Time) -> (u64, QuiescenceOutcome) {
+        let mut n = 0;
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            let Some(at) = self.engine.peek_time() else {
+                self.batch = batch;
+                return (n, QuiescenceOutcome::Quiescent);
+            };
+            if at > deadline {
+                self.batch = batch;
+                self.engine.advance_to(deadline);
+                return (n, QuiescenceOutcome::DeadlineReached);
+            }
+            self.engine.step_batch(&mut batch);
+            n += batch.len() as u64;
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -606,7 +667,11 @@ impl World {
     }
 
     /// Takes the next message out of a mailbox (application receive).
-    pub fn mailbox_take(&mut self, cab: usize, mailbox: u16) -> Option<nectar_kernel::mailbox::Message> {
+    pub fn mailbox_take(
+        &mut self,
+        cab: usize,
+        mailbox: u16,
+    ) -> Option<nectar_kernel::mailbox::Message> {
         self.cabs[cab].mailboxes.get_mut(&mailbox)?.take_next()
     }
 
@@ -658,7 +723,14 @@ impl World {
             }
             Ev::CabPacketReady { cab, payload } => self.cab_packet_ready(now, cab, payload),
             Ev::CabTimer { cab, source, token } => {
-                self.cabs[cab].timers.remove(&(source, token.0));
+                // The timer table is the source of truth: a timer
+                // cancelled by an earlier event in the same batch has
+                // already left the table (its engine event was popped
+                // with the batch and could no longer be cancelled), so
+                // its expiry must be ignored here.
+                if self.cabs[cab].timers.remove(&(source, token.0)).is_none() {
+                    return;
+                }
                 let t = self.cfg.cab.timer_op;
                 let (_, done) = self.cabs[cab].sched.run_interrupt(now, t);
                 let mut actions = Vec::new();
@@ -783,10 +855,8 @@ impl World {
         dst_mailbox: u16,
         data: &[u8],
     ) {
-        let mc = self
-            .topo
-            .multicast_route(src, dsts)
-            .expect("multicast destinations must be reachable");
+        let mc =
+            self.topo.multicast_route(src, dsts).expect("multicast destinations must be reachable");
         // One datagram header; receivers deliver by mailbox address.
         let header = Header {
             src_mailbox,
@@ -800,7 +870,8 @@ impl World {
                 CabId::new(dsts[0] as u16),
             )
         };
-        let wire = header.encode_with(data);
+        let mut wire = self.pool.acquire();
+        header.encode_into(data, &mut wire);
         let t = self.cfg.cab.send_path();
         let app = self.cabs[src].app_thread;
         self.cabs[src].sched.assume_running(app);
@@ -845,7 +916,8 @@ impl World {
                     } else {
                         cs.sched.run_interrupt(now, cost_int).1
                     };
-                    let wire = header.encode_with(&payload);
+                    let mut wire = self.pool.acquire();
+                    header.encode_into(&payload, &mut wire);
                     let dst = header.dst_cab.index();
                     self.cab_send_packet(cab, dst, wire, done);
                 }
@@ -950,8 +1022,7 @@ impl World {
     fn try_flush(&mut self, cab: usize, now: Time) {
         let (hub, port) = self.topo.cab_attachment(cab);
         let prop = self.cfg.propagation;
-        loop {
-            let Some(front) = self.cabs[cab].tx_bursts.front() else { break };
+        while let Some(front) = self.cabs[cab].tx_bursts.front() {
             let has_packet = front.iter().any(|i| matches!(i, Item::Packet(_)));
             // The CAB-side ready bit is part of the same hardware
             // flow-control system as the HUB's (§4.2.3); the ablation
@@ -988,8 +1059,10 @@ impl World {
         for em in fx.emissions {
             match self.topo.peer(hub, em.port) {
                 Peer::Hub(h2, p2) => {
-                    self.engine
-                        .schedule_at(em.at + prop, Ev::HubItem { hub: h2, port: p2, item: em.item });
+                    self.engine.schedule_at(
+                        em.at + prop,
+                        Ev::HubItem { hub: h2, port: p2, item: em.item },
+                    );
                 }
                 Peer::Cab(c) => {
                     self.engine.schedule_at(em.at + prop, Ev::CabItem { cab: c, item: em.item });
@@ -1060,8 +1133,7 @@ impl World {
                     cs.counters.overruns += 1;
                     // The queue overran; the packet is lost. Free the
                     // flow-control path so the network is not wedged.
-                    self.engine
-                        .schedule_at(handler_done + prop, Ev::HubReady { hub, port });
+                    self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
                     return;
                 }
                 // The DMA drains the input queue concurrently with the
@@ -1070,7 +1142,10 @@ impl World {
                 // the destination (whichever is later).
                 let xfer = cs.hw.dma.start(now, Channel::FiberIn, p.len());
                 let done = xfer.complete.max(now + wire_dur).max(handler_done);
-                let payload: Arc<[u8]> = Arc::from(p.data().to_vec());
+                // Zero-copy receive: share the in-flight buffer instead
+                // of copying it into CAB memory. (The real DMA copies;
+                // the model only charges its time.)
+                let payload = p.share();
                 // The packet emerges from the CAB input queue when the
                 // DMA starts draining it: restore the HUB's ready bit.
                 self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
@@ -1091,11 +1166,12 @@ impl World {
         }
     }
 
-    fn cab_packet_ready(&mut self, now: Time, cab: usize, payload: Arc<[u8]>) {
+    fn cab_packet_ready(&mut self, now: Time, cab: usize, payload: Arc<Vec<u8>>) {
         use nectar_proto::header::PacketKind;
         let decoded = Header::decode(&payload);
         let Ok((header, body)) = decoded else {
             self.cabs[cab].counters.corrupted_rx += 1;
+            self.pool.reclaim(payload);
             return;
         };
         let peer = header.src_cab.index();
@@ -1125,5 +1201,9 @@ impl World {
             }
         };
         self.exec_actions(cab, now, source, false, actions);
+        // The packet has been consumed; if this was the last reference
+        // (unicast steady state), the buffer goes back to the pool for
+        // the next send to encode into.
+        self.pool.reclaim(payload);
     }
 }

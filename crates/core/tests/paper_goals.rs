@@ -94,10 +94,7 @@ fn rpc_round_trip_is_roughly_twice_one_way() {
 fn hardware_multicast_beats_sequential_unicast() {
     let mut sys = default_system(6);
     let (mc, uc) = sys.measure_multicast_vs_unicast(0, &[1, 2, 3, 4], 512);
-    assert!(
-        mc < uc,
-        "one fan-out packet ({mc}) must beat four serialized unicasts ({uc})"
-    );
+    assert!(mc < uc, "one fan-out packet ({mc}) must beat four serialized unicasts ({uc})");
 }
 
 // ------------------------------------------------------------------
@@ -268,8 +265,8 @@ fn lost_hub_commands_are_recovered_end_to_end() {
     assert!(sys.world().faults_injected > 0, "commands were actually lost");
     let msg = sys.world_mut().mailbox_take(1, 2).expect("delivered despite lost commands");
     assert_eq!(msg.data(), &data[..]);
-    let recoveries = sys.world().cab_counters(0).ready_timeouts
-        + sys.world().hub(0).counters().drops;
+    let recoveries =
+        sys.world().cab_counters(0).ready_timeouts + sys.world().hub(0).counters().drops;
     assert!(recoveries > 0, "a recovery path must have fired");
 }
 

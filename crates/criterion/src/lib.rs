@@ -1,0 +1,315 @@
+//! A vendored, offline subset of the `criterion` API.
+//!
+//! The build environment for this repository has no access to
+//! crates.io, so the real `criterion` crate cannot be fetched. This
+//! crate implements the slice of its surface that the workspace's
+//! benches use — `Criterion::bench_function`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
+//! over a simple wall-clock measurement loop.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs
+//! batches of iterations until a time budget is spent, and reports the
+//! mean time per iteration (plus derived throughput when configured).
+//! There are no statistical confidence intervals; for this repo's
+//! purposes (tracking order-of-magnitude perf and before/after ratios)
+//! the mean over a fixed budget is sufficient and keeps the harness
+//! dependency-free.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! benchmark body runs exactly once so the suite doubles as a smoke
+//! test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget spent measuring each benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(30);
+
+/// Throughput annotation for a benchmark group; scales the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Names one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the timed closure; handed to benchmark bodies.
+pub struct Bencher {
+    /// `true` when running under `--test`: execute once, skip timing.
+    test_mode: bool,
+    /// Mean duration of one iteration, filled by [`Bencher::iter`].
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean wall-clock time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: also estimates the per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        // Batch size targeting ~1ms per batch so Instant overhead stays
+        // out of the numbers.
+        let batch = (1_000_000 / est.max(1)).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.mean = total / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark path (`group/id` or bare name).
+    pub name: String,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    /// Everything measured so far, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` invokes bench binaries with `--bench`; anything
+        // else (notably `cargo test`, which runs them bare) gets the
+        // run-once smoke mode. Matches the real crate's behaviour.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+        Criterion { test_mode, measurements: Vec::new() }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(m: &Measurement) {
+    let rate = match m.throughput {
+        Some(Throughput::Bytes(bytes)) if !m.mean.is_zero() => {
+            let per_sec = bytes as f64 / m.mean.as_secs_f64();
+            format!("  ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if !m.mean.is_zero() => {
+            let per_sec = n as f64 / m.mean.as_secs_f64();
+            format!("  ({per_sec:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("{:<44} time: {:>12}/iter{}  [{} iters]", m.name, fmt_duration(m.mean), rate, m.iters);
+}
+
+impl Criterion {
+    fn run_one(
+        &mut self,
+        name: String,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher { test_mode: self.test_mode, mean: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let m = Measurement { name, mean: b.mean, iters: b.iters, throughput };
+        if !self.test_mode {
+            report(&m);
+        }
+        self.measurements.push(m);
+    }
+
+    /// Measures a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.to_string(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// The mean of the named measurement, if it has run.
+    pub fn mean_of(&self, name: &str) -> Option<Duration> {
+        self.measurements.iter().find(|m| m.name == name).map(|m| m.mean)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measures one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.c.run_one(full, throughput, &mut f);
+        self
+    }
+
+    /// Measures one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.c.run_one(full, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_test_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher { test_mode: true, mean: Duration::ZERO, iters: 0 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("packet").id, "packet");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.00 ms");
+    }
+}

@@ -445,7 +445,11 @@ impl Hub {
             _ => return,
         };
         self.counters.commands_executed += 1;
-        self.trace.record(now, Category::Controller, format!("{} exec [{cmd}] from {port}", self.id));
+        self.trace.record(
+            now,
+            Category::Controller,
+            format!("{} exec [{cmd}] from {port}", self.id),
+        );
         match cmd.op {
             Op::User(user) => self.exec_user(now, port, expected, cmd, user, fx),
             Op::Supervisor(sup) => {

@@ -17,7 +17,10 @@ use std::sync::Arc;
 /// packet`.
 ///
 /// The payload is shared, not copied, when a packet fans out through a
-/// multicast connection.
+/// multicast connection, and stays shared all the way to the receiving
+/// CAB: [`Packet::share`] hands out the refcounted buffer so delivery
+/// needs no copy, and a [`pool`](crate::pool::BufPool) can reclaim the
+/// `Vec` once the last reference drops.
 ///
 /// # Examples
 ///
@@ -30,7 +33,7 @@ use std::sync::Arc;
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Packet {
     id: u64,
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 /// Framing overhead of a packet on the wire: `start of packet` and
@@ -41,8 +44,14 @@ impl Packet {
     /// Creates a packet carrying `data`. The `id` tags the packet for
     /// tracing and end-to-end accounting; it does not travel on the
     /// wire.
-    pub fn new(id: u64, data: impl Into<Arc<[u8]>>) -> Packet {
-        Packet { id, data: data.into() }
+    pub fn new(id: u64, data: impl Into<Vec<u8>>) -> Packet {
+        Packet { id, data: Arc::new(data.into()) }
+    }
+
+    /// Creates a packet around an already-shared buffer without
+    /// copying it (e.g. a pooled buffer the sender just filled).
+    pub fn from_shared(id: u64, data: Arc<Vec<u8>>) -> Packet {
+        Packet { id, data }
     }
 
     /// The tracing id.
@@ -53,6 +62,11 @@ impl Packet {
     /// Payload bytes.
     pub fn data(&self) -> &[u8] {
         &self.data
+    }
+
+    /// A shared handle to the payload buffer: delivery without a copy.
+    pub fn share(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.data)
     }
 
     /// Payload length in bytes.
@@ -148,7 +162,10 @@ mod tests {
         assert_eq!(Item::from(cmd).wire_bytes(), 3);
         assert_eq!(Item::CloseAll.wire_bytes(), 3);
         assert_eq!(Item::from(Packet::new(0, vec![0u8; 1024])).wire_bytes(), 1026);
-        assert_eq!(Item::Reply(Reply::Ack { hub: HubId::new(1), port: PortId::new(2) }).wire_bytes(), 3);
+        assert_eq!(
+            Item::Reply(Reply::Ack { hub: HubId::new(1), port: PortId::new(2) }).wire_bytes(),
+            3
+        );
     }
 
     #[test]
@@ -156,6 +173,15 @@ mod tests {
         let p = Packet::new(1, vec![9u8; 100]);
         let q = p.clone();
         assert!(Arc::ptr_eq(&p.data, &q.data), "multicast clones must share payload");
+        assert!(Arc::ptr_eq(&p.share(), &q.data), "share() hands out the same buffer");
+    }
+
+    #[test]
+    fn from_shared_does_not_copy() {
+        let buf = Arc::new(vec![5u8; 32]);
+        let p = Packet::from_shared(4, Arc::clone(&buf));
+        assert!(Arc::ptr_eq(&p.share(), &buf));
+        assert_eq!(p.len(), 32);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod effects;
 pub mod hub;
 pub mod id;
 pub mod item;
+pub mod pool;
 pub mod status;
 
 /// The most frequently used names, for glob import.
@@ -62,5 +63,6 @@ pub mod prelude {
     pub use crate::hub::Hub;
     pub use crate::id::{HubId, PortId};
     pub use crate::item::{Item, Packet};
+    pub use crate::pool::{BufPool, PoolStats};
     pub use crate::status::PortStatus;
 }

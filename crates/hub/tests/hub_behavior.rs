@@ -82,11 +82,8 @@ fn connection_setup_and_first_byte_is_ten_cycles() {
     let mut hub = hub0();
     // Command packet: open P4->P8, then the data packet (back-to-back
     // on the wire: the command occupies 240 ns).
-    let (emissions, _) = drive(
-        &mut hub,
-        vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 64))],
-        vec![],
-    );
+    let (emissions, _) =
+        drive(&mut hub, vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 64))], vec![]);
     let data = data_emissions(&emissions);
     assert_eq!(data.len(), 1);
     assert_eq!(data[0].port, PortId::new(8));
@@ -115,11 +112,8 @@ fn established_connection_transfer_is_five_cycles() {
 fn pipelined_transfer_matches_fiber_bandwidth() {
     // A 1 KB packet's last byte leaves 81.92 us after its first.
     let mut hub = hub0();
-    let (emissions, _) = drive(
-        &mut hub,
-        vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 1022))],
-        vec![],
-    );
+    let (emissions, _) =
+        drive(&mut hub, vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 1022))], vec![]);
     let data = data_emissions(&emissions);
     // Emission time is first-byte; last byte implied by wire size. What
     // we can check here: a second back-to-back packet is serialized
@@ -162,10 +156,8 @@ fn open_busy_output_without_retry_nacks() {
         vec![(0, 0, open(false, false, 5)), (1000, 1, open(false, true, 5))],
         vec![],
     );
-    let nacks: Vec<_> = emissions
-        .iter()
-        .filter(|e| matches!(e.item, Item::Reply(Reply::Nack { .. })))
-        .collect();
+    let nacks: Vec<_> =
+        emissions.iter().filter(|e| matches!(e.item, Item::Reply(Reply::Nack { .. }))).collect();
     assert_eq!(nacks.len(), 1);
     assert_eq!(nacks[0].port, PortId::new(1), "NACK returns on the issuing port");
     assert_eq!(hub.counters().opens_failed, 1);
@@ -187,10 +179,8 @@ fn open_with_retry_waits_for_close() {
     assert_eq!(hub.counters().opens_retried, 1);
     assert_eq!(hub.connections(), vec![(PortId::new(1), PortId::new(5))]);
     // The eventual success sends the Ack reply.
-    let acks: Vec<_> = emissions
-        .iter()
-        .filter(|e| matches!(e.item, Item::Reply(Reply::Ack { .. })))
-        .collect();
+    let acks: Vec<_> =
+        emissions.iter().filter(|e| matches!(e.item, Item::Reply(Reply::Ack { .. }))).collect();
     assert_eq!(acks.len(), 1);
     assert!(acks[0].at > Time::from_nanos(5_000), "ack only after the close freed the port");
 }
@@ -235,11 +225,8 @@ fn flow_control_ablation_ignores_ready_bits() {
 #[test]
 fn packet_clears_ready_and_signals_upstream() {
     let mut hub = hub0();
-    let (_, signals) = drive(
-        &mut hub,
-        vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 100))],
-        vec![],
-    );
+    let (_, signals) =
+        drive(&mut hub, vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 100))], vec![]);
     // Forwarding the packet signalled "emerged from input queue" to
     // P4's upstream peer...
     assert_eq!(signals.len(), 1);
@@ -282,11 +269,7 @@ fn close_all_tears_down_route_after_data() {
     let mut hub = hub0();
     let (emissions, _) = drive(
         &mut hub,
-        vec![
-            (0, 0, open(false, false, 3)),
-            (240, 0, packet(1, 64)),
-            (6_000, 0, Item::CloseAll),
-        ],
+        vec![(0, 0, open(false, false, 3)), (240, 0, packet(1, 64)), (6_000, 0, Item::CloseAll)],
         vec![],
     );
     assert!(hub.connections().is_empty(), "close all breaks the connection it passed over");
@@ -330,8 +313,7 @@ fn reply_routes_backwards_through_connection() {
         ],
         vec![],
     );
-    let replies: Vec<_> =
-        emissions.iter().filter(|e| matches!(e.item, Item::Reply(_))).collect();
+    let replies: Vec<_> = emissions.iter().filter(|e| matches!(e.item, Item::Reply(_))).collect();
     assert_eq!(replies.len(), 1);
     assert_eq!(replies[0].port, PortId::new(4));
     assert_eq!(
@@ -369,11 +351,8 @@ fn circuit_switched_large_packet_cuts_through_without_overflow() {
     let mut hub = hub0();
     // With the circuit open, a 64 KB packet streams through the 1 KB
     // queue (paper: "circuit switching must be used for larger packets").
-    let (emissions, _) = drive(
-        &mut hub,
-        vec![(0, 0, open(false, false, 5)), (240, 0, packet(1, 65_536))],
-        vec![],
-    );
+    let (emissions, _) =
+        drive(&mut hub, vec![(0, 0, open(false, false, 5)), (240, 0, packet(1, 65_536))], vec![]);
     assert_eq!(hub.counters().overflows, 0);
     assert_eq!(data_emissions(&emissions).len(), 1);
 }
@@ -397,11 +376,7 @@ fn stuck_check_is_harmless_when_the_connection_arrives_in_time() {
     // behind it? no — opens precede packets). Here: packet arrives
     // first by mistake, open follows on the same input; the stuck
     // timeout must NOT fire once forwarding begins.
-    drive(
-        &mut hub,
-        vec![(0, 0, packet(1, 128)), (5_000, 0, open(false, false, 5))],
-        vec![],
-    );
+    drive(&mut hub, vec![(0, 0, packet(1, 128)), (5_000, 0, open(false, false, 5))], vec![]);
     // The open is queued BEHIND the waiting packet (head-of-line), so
     // the packet is discarded at the timeout and the open then runs.
     assert_eq!(hub.counters().drops, 1);
@@ -583,11 +558,7 @@ fn byte_and_packet_counters_accumulate() {
     let mut hub = hub0();
     drive(
         &mut hub,
-        vec![
-            (0, 0, open(false, false, 5)),
-            (240, 0, packet(1, 100)),
-            (100_000, 0, packet(2, 200)),
-        ],
+        vec![(0, 0, open(false, false, 5)), (240, 0, packet(1, 100)), (100_000, 0, packet(2, 200))],
         vec![],
     );
     assert_eq!(hub.counters().packets_forwarded, 2);
@@ -598,11 +569,7 @@ fn byte_and_packet_counters_accumulate() {
 fn trace_records_command_walk_when_enabled() {
     let mut hub = hub0();
     hub.trace_mut().set_enabled(true);
-    drive(
-        &mut hub,
-        vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 16))],
-        vec![],
-    );
+    drive(&mut hub, vec![(0, 4, open(false, false, 8)), (240, 4, packet(1, 16))], vec![]);
     let ctrl: Vec<_> = hub.trace().by_category(Category::Controller).collect();
     assert!(!ctrl.is_empty(), "controller activity is traced");
     assert!(ctrl[0].message.contains("open"), "{}", ctrl[0].message);

@@ -201,8 +201,8 @@ impl Mailbox {
     }
 
     /// Removes and returns the oldest message satisfying `pred`.
-    pub fn take_matching<F: FnMut(&Message) -> bool>(&mut self, mut pred: F) -> Option<Message> {
-        let idx = self.messages.iter().position(|m| pred(m))?;
+    pub fn take_matching<F: FnMut(&Message) -> bool>(&mut self, pred: F) -> Option<Message> {
+        let idx = self.messages.iter().position(pred)?;
         let msg = self.messages.remove(idx).expect("index in range");
         self.account_take(&msg);
         Some(msg)

@@ -84,7 +84,9 @@ impl ServiceCosts {
     fn service_time(&self, service: NodeService) -> Dur {
         match service {
             NodeService::FileRead { bytes } | NodeService::FileWrite { bytes } => {
-                self.disk_latency + self.disk_bw.transfer_time(bytes) + self.vme_bw.transfer_time(bytes)
+                self.disk_latency
+                    + self.disk_bw.transfer_time(bytes)
+                    + self.vme_bw.transfer_time(bytes)
             }
             NodeService::GetTimeOfDay => Dur::from_micros(5),
             NodeService::ConsoleWrite { bytes } => self.console_bw.transfer_time(bytes),

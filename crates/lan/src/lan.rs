@@ -146,11 +146,8 @@ impl LanSystem {
         let delivered = &self.eth.deliveries[before_frames..];
         let bytes: u64 = delivered.iter().map(|d| d.frame.bytes as u64).sum();
         let delay_sum: Dur = delivered.iter().map(|d| d.at.saturating_since(d.queued_at)).sum();
-        let mean_delay = if delivered.is_empty() {
-            Dur::ZERO
-        } else {
-            delay_sum / delivered.len() as u64
-        };
+        let mean_delay =
+            if delivered.is_empty() { Dur::ZERO } else { delay_sum / delivered.len() as u64 };
         let delivered_bps =
             (bytes as u128 * 8 * 1_000_000_000 / duration.nanos().max(1) as u128) as u64;
         LoadReport {
@@ -192,17 +189,11 @@ mod tests {
     #[test]
     fn delivered_throughput_degrades_past_saturation() {
         let mut light = LanSystem::new(16, LanConfig::default());
-        let low = light.offered_load_run(
-            Bandwidth::from_mbit_per_sec(2),
-            512,
-            Dur::from_millis(500),
-        );
+        let low =
+            light.offered_load_run(Bandwidth::from_mbit_per_sec(2), 512, Dur::from_millis(500));
         let mut heavy = LanSystem::new(16, LanConfig::default());
-        let high = heavy.offered_load_run(
-            Bandwidth::from_mbit_per_sec(20),
-            512,
-            Dur::from_millis(500),
-        );
+        let high =
+            heavy.offered_load_run(Bandwidth::from_mbit_per_sec(20), 512, Dur::from_millis(500));
         // Under light load nearly everything is delivered...
         assert!(
             low.delivered.bits_per_sec() as f64 >= 0.8 * low.offered.bits_per_sec() as f64,

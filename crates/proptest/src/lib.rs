@@ -1,0 +1,123 @@
+//! A vendored, offline subset of the `proptest` API.
+//!
+//! The build environment for this repository has no access to
+//! crates.io, so the real `proptest` crate cannot be fetched. This
+//! crate implements the slice of its surface that the workspace's
+//! property tests actually use — `proptest!`, `prop_assert*!`,
+//! `prop_oneof!`, `any`, `Just`, range and tuple strategies,
+//! `prop::collection::vec`, and `ProptestConfig` — over a small
+//! deterministic PRNG.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the sampled inputs
+//!   left to the assertion message; it is not minimised.
+//! - **Deterministic by construction.** The seed for each case is
+//!   derived from the test's name and the case index, so a failure
+//!   reproduces on every run and on every machine.
+//! - **`prop_assert*!` panic** instead of returning `Err`, which is
+//!   equivalent under this runner.
+//!
+//! The number of cases per test defaults to [`ProptestConfig::default`]
+//! and can be raised globally with the `PROPTEST_CASES` environment
+//! variable, mirroring the real crate's knob.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestRng, TestRunner};
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, VecStrategy};
+    }
+}
+
+/// Creates a strategy producing uniformly random values of `T`.
+pub fn any<T: strategy::ArbitrarySample>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Any, Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+///
+/// Unlike the real proptest (which records the failure and shrinks),
+/// this shim panics immediately, which fails the test identically.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Builds a strategy choosing uniformly among the listed strategies.
+///
+/// All branches must produce the same value type. The real crate's
+/// `weight => strategy` form is not supported (unused here).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` body
+/// runs once per sampled case.
+///
+/// Supports the optional leading
+/// `#![proptest_config(ProptestConfig { .. })]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let runner = $crate::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}

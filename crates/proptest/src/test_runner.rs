@@ -1,0 +1,132 @@
+//! The deterministic case runner: configuration and PRNG.
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+///
+/// Only the fields the workspace uses are present; construct with
+/// struct-update syntax over [`ProptestConfig::default`].
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (compat constructor).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// SplitMix64: tiny, fast, and statistically fine for test sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n = 0` means the full 64-bit range.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return self.next_u64();
+        }
+        // Multiply-shift bounded sampling (Lemire); the slight modulo
+        // bias of the plain approach is irrelevant for test data, but
+        // this is just as cheap.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Drives one property test: owns the config and derives per-case RNGs.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    cases: u32,
+    seed_base: u64,
+}
+
+/// FNV-1a, used to turn the test name into a stable seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// A runner for the test called `name`.
+    ///
+    /// The `PROPTEST_CASES` environment variable overrides the
+    /// configured case count, like the real crate.
+    pub fn new(config: ProptestConfig, name: &str) -> TestRunner {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        TestRunner { cases, seed_base: fnv1a(name.as_bytes()) }
+    }
+
+    /// How many cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The deterministic RNG for case `case`.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::new(self.seed_base ^ ((case as u64) << 1 | 1).wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(7);
+        for n in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_seeds_differ_per_case_and_name() {
+        let r = TestRunner::new(ProptestConfig::default(), "alpha");
+        let s = TestRunner::new(ProptestConfig::default(), "beta");
+        assert_ne!(r.rng_for(0).next_u64(), r.rng_for(1).next_u64());
+        assert_ne!(r.rng_for(0).next_u64(), s.rng_for(0).next_u64());
+    }
+}

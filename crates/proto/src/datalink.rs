@@ -351,8 +351,7 @@ mod tests {
             (hop(4, 3), false),
             (hop(3, 4), true),
         ]);
-        let strings: Vec<String> =
-            mc.circuit_open_items().iter().map(|i| i.to_string()).collect();
+        let strings: Vec<String> = mc.circuit_open_items().iter().map(|i| i.to_string()).collect();
         assert_eq!(
             strings,
             vec![

@@ -156,8 +156,21 @@ impl Header {
     ///
     /// Panics if `payload.len()` disagrees with `self.payload_len`.
     pub fn encode_with(&self, payload: &[u8]) -> Vec<u8> {
-        assert_eq!(payload.len(), self.payload_len as usize, "payload_len must match payload");
         let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+        self.encode_into(payload, &mut buf);
+        buf
+    }
+
+    /// Encodes into a caller-supplied buffer (cleared first), so pooled
+    /// buffers can be reused across packets without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len()` disagrees with `self.payload_len`.
+    pub fn encode_into(&self, payload: &[u8], buf: &mut Vec<u8>) {
+        assert_eq!(payload.len(), self.payload_len as usize, "payload_len must match payload");
+        buf.clear();
+        buf.reserve(HEADER_BYTES + payload.len());
         buf.push(self.kind.code());
         buf.push(0); // reserved flags
         buf.extend_from_slice(&self.src_cab.raw().to_be_bytes());
@@ -173,9 +186,8 @@ impl Header {
         buf.extend_from_slice(&self.payload_len.to_be_bytes());
         buf.extend_from_slice(&[0, 0]); // checksum placeholder
         buf.extend_from_slice(payload);
-        let sum = fletcher16(&buf);
+        let sum = fletcher16(buf);
         buf[30..32].copy_from_slice(&sum.to_be_bytes());
-        buf
     }
 
     /// Decodes a wire buffer into header and payload, verifying length
@@ -188,7 +200,8 @@ impl Header {
         if bytes.len() < HEADER_BYTES {
             return Err(DecodeError::Truncated { have: bytes.len() });
         }
-        let kind = PacketKind::from_code(bytes[0]).ok_or(DecodeError::BadKind { code: bytes[0] })?;
+        let kind =
+            PacketKind::from_code(bytes[0]).ok_or(DecodeError::BadKind { code: bytes[0] })?;
         let u16at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
         let u32at =
             |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
@@ -342,6 +355,19 @@ mod tests {
     fn payload_len_must_match() {
         let h = sample(PacketKind::Data, b"12345");
         let _ = h.encode_with(b"1234");
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode_with() {
+        let payload = vec![3u8; 128];
+        let h = sample(PacketKind::Data, &payload);
+        let fresh = h.encode_with(&payload);
+        let mut reused = vec![0xFFu8; 500]; // stale contents must not leak in
+        h.encode_into(&payload, &mut reused);
+        assert_eq!(reused, fresh);
+        let (back, body) = Header::decode(&reused).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(body, &payload[..]);
     }
 
     #[test]

@@ -39,15 +39,17 @@
 #![warn(missing_docs)]
 
 pub mod datalink;
-pub mod inet;
 pub mod header;
+pub mod inet;
 pub mod pipeline;
 pub mod transport;
 
 /// The most frequently used names, for glob import.
 pub mod prelude {
     pub use crate::datalink::{ConnectionCache, DatalinkConfig, Hop, MulticastRoute, Route};
-    pub use crate::header::{DecodeError, Header, MailboxAddr, PacketKind, HEADER_BYTES, MAX_FRAGMENT_PAYLOAD};
+    pub use crate::header::{
+        DecodeError, Header, MailboxAddr, PacketKind, HEADER_BYTES, MAX_FRAGMENT_PAYLOAD,
+    };
     pub use crate::inet::{AddressMap, IpHeader, IpProto};
     pub use crate::pipeline::PipelineModel;
     pub use crate::transport::bytestream::{ByteStream, ByteStreamConfig, ByteStreamStats};

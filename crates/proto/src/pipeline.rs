@@ -132,7 +132,10 @@ mod tests {
         let m = PipelineModel::prototype();
         let tp = m.throughput(1 << 20, 8192);
         let mbs = tp.as_mbyte_per_sec_f64();
-        assert!(mbs > 8.0 && mbs <= 10.0, "throughput {mbs:.1} MB/s should approach the 10 MB/s VME");
+        assert!(
+            mbs > 8.0 && mbs <= 10.0,
+            "throughput {mbs:.1} MB/s should approach the 10 MB/s VME"
+        );
     }
 
     #[test]

@@ -272,16 +272,12 @@ impl ByteStream {
         if header.ack <= self.base {
             return; // duplicate ack; the timer covers recovery
         }
-        while self
-            .inflight
-            .front()
-            .is_some_and(|pkt| pkt.header.seq < header.ack)
-        {
+        while self.inflight.front().is_some_and(|pkt| pkt.header.seq < header.ack) {
             self.inflight.pop_front();
         }
         self.base = header.ack;
         self.backoff = 0; // progress: reset the retransmission backoff
-        // Completion callbacks for fully acknowledged messages.
+                          // Completion callbacks for fully acknowledged messages.
         while self.msg_last_seq.front().is_some_and(|&(_, last)| last < self.base) {
             let (msg_id, _) = self.msg_last_seq.pop_front().expect("front exists");
             self.stats.completed += 1;
@@ -396,7 +392,11 @@ mod tests {
                 assert!(guard < 1000, "protocol did not converge");
                 self.timers.sort_by_key(|&(t, _, _)| t);
                 let Some((at, ep, token)) = self.timers.first().copied() else {
-                    panic!("stuck with no timers: a={:?} b={:?}", self.a.inflight(), self.b.inflight());
+                    panic!(
+                        "stuck with no timers: a={:?} b={:?}",
+                        self.a.inflight(),
+                        self.b.inflight()
+                    );
                 };
                 self.timers.remove(0);
                 self.now = self.now.max(at);
@@ -509,8 +509,11 @@ mod tests {
             })
             .expect("timer armed");
         // An ack arrives, superseding the timer...
-        let ack =
-            Header { ack: 1, window: 8, ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0)) };
+        let ack = Header {
+            ack: 1,
+            window: 8,
+            ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0))
+        };
         let mut out2 = Vec::new();
         tx.on_packet(Time::ZERO, &ack, &[], &mut out2);
         // ...so the old token must do nothing.

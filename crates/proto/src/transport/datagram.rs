@@ -82,7 +82,13 @@ impl Datagram {
 
     /// Handles an arriving datagram packet: deliver to the destination
     /// mailbox, no acknowledgement.
-    pub fn on_packet(&mut self, _now: Time, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
+    pub fn on_packet(
+        &mut self,
+        _now: Time,
+        header: &Header,
+        payload: &[u8],
+        out: &mut Vec<Action>,
+    ) {
         debug_assert_eq!(header.kind, PacketKind::Datagram);
         self.received += 1;
         out.push(Action::Deliver {

@@ -96,12 +96,8 @@ impl Reassembler {
                 if frag_count == 1 {
                     return ReassemblyOutcome::Complete(payload.to_vec());
                 }
-                self.current = Some(InProgress {
-                    msg_id,
-                    frag_count,
-                    next_index: 1,
-                    buf: payload.to_vec(),
-                });
+                self.current =
+                    Some(InProgress { msg_id, frag_count, next_index: 1, buf: payload.to_vec() });
                 ReassemblyOutcome::Incomplete
             }
             Some(ip) => {

@@ -150,8 +150,7 @@ mod tests {
         let send = Action::Send { header: h, payload: Arc::from(vec![1u8]) };
         assert!(send.is_send());
         assert!(!send.is_deliver());
-        let deliver =
-            Action::Deliver { mailbox: 3, msg: Message::new(1, 0, vec![2u8]) };
+        let deliver = Action::Deliver { mailbox: 3, msg: Message::new(1, 0, vec![2u8]) };
         assert!(deliver.is_deliver());
     }
 

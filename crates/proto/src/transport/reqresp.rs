@@ -125,7 +125,13 @@ impl ReqRespClient {
     }
 
     /// Handles an arriving response packet.
-    pub fn on_packet(&mut self, _now: Time, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
+    pub fn on_packet(
+        &mut self,
+        _now: Time,
+        header: &Header,
+        payload: &[u8],
+        out: &mut Vec<Action>,
+    ) {
         debug_assert_eq!(header.kind, PacketKind::Response);
         let tx = header.msg_id;
         let Some(pending) = self.outstanding.remove(&tx) else {
@@ -159,7 +165,10 @@ impl ReqRespClient {
         pending.attempts += 1;
         self.retransmissions += 1;
         out.push(Action::Send { header: pending.header, payload: pending.payload.clone() });
-        out.push(Action::SetTimer { token: Self::token(tx, pending.attempts), delay: self.cfg.rto });
+        out.push(Action::SetTimer {
+            token: Self::token(tx, pending.attempts),
+            delay: self.cfg.rto,
+        });
     }
 
     /// Calls still awaiting a response.
@@ -211,7 +220,13 @@ impl ReqRespServer {
     /// = client CAB id so the application can address its `respond`);
     /// retransmitted ones replay the cached response or are dropped if
     /// the call is still executing.
-    pub fn on_packet(&mut self, _now: Time, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
+    pub fn on_packet(
+        &mut self,
+        _now: Time,
+        header: &Header,
+        payload: &[u8],
+        out: &mut Vec<Action>,
+    ) {
         debug_assert_eq!(header.kind, PacketKind::Request);
         let key = (header.src_cab.raw(), header.msg_id);
         if let Some((resp_header, resp_payload)) = self.cache.get(&key) {
@@ -286,7 +301,10 @@ mod tests {
 
     /// Ships the first Send in `actions` into `handler`, returning its
     /// output actions.
-    fn ship(actions: &[Action], mut handler: impl FnMut(&Header, &[u8], &mut Vec<Action>)) -> Vec<Action> {
+    fn ship(
+        actions: &[Action],
+        mut handler: impl FnMut(&Header, &[u8], &mut Vec<Action>),
+    ) -> Vec<Action> {
         let mut out = Vec::new();
         for (h, p) in sends(actions) {
             handler(h, p, &mut out);
@@ -349,7 +367,11 @@ mod tests {
         let tx = client.call(Time::ZERO, CabId::new(1), 5, 80, b"req", &mut out);
         for attempt in 1..=3u32 {
             let mut o = Vec::new();
-            client.on_timer(Time::from_millis(attempt as u64), TimerToken(((tx as u64) << 32) | attempt as u64), &mut o);
+            client.on_timer(
+                Time::from_millis(attempt as u64),
+                TimerToken(((tx as u64) << 32) | attempt as u64),
+                &mut o,
+            );
             if attempt == 3 {
                 assert!(
                     o.iter().any(|a| matches!(a, Action::Error(TransportError::Timeout { msg_id }) if *msg_id == tx)),

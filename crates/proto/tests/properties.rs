@@ -169,7 +169,7 @@ proptest! {
                         if dropped {
                             continue;
                         }
-                        now = now + Dur::from_micros(5);
+                        now += Dur::from_micros(5);
                         let mut out = Vec::new();
                         let to = 1 - from;
                         let target = if to == 0 { &mut a } else { &mut b };

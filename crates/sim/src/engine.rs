@@ -29,58 +29,101 @@
 //! Determinism: events that share a timestamp are delivered in the order
 //! they were scheduled (FIFO tie-break on a sequence number), so a run
 //! is a pure function of its inputs and RNG seed.
+//!
+//! # Implementation
+//!
+//! Every operation on the hot path is hash-free and allocation-free
+//! (amortised): events live in a **slab** of generation-tagged slots
+//! reached directly from the [`EventId`], and ordering comes from an
+//! **indexed 4-ary min-heap** whose entries carry their `(time, seq)`
+//! keys inline (comparisons never touch the slab).
+//! Each slot remembers its heap position, so [`cancel`](Engine::cancel)
+//! removes the entry from the middle of the heap in O(log n) — there
+//! are no tombstones to garbage-collect and the heap never holds dead
+//! entries, which keeps [`peek_time`](Engine::peek_time) O(1)
+//! unconditionally. Freed slots go on a freelist and are reused with a
+//! bumped generation, so stale handles are rejected without any lookup
+//! structure.
+//!
+//! For drivers that process many events per simulated instant (a HUB
+//! drains an entire 70 ns cycle at once), [`step_batch`](Engine::step_batch)
+//! pops every event sharing the earliest timestamp in one call,
+//! avoiding a peek/compare per event.
 
 use crate::time::{Dur, Time};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
 use std::fmt;
 
 /// Handle to a scheduled event, usable to [`Engine::cancel`] it.
 ///
-/// Handles are unique over the lifetime of an engine and never reused.
+/// Handles are unique over the lifetime of an engine and never reused:
+/// a handle is a slot index plus the slot's generation at scheduling
+/// time, and the generation is bumped every time the slot is freed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-struct Entry<E> {
-    at: Time,
-    seq: u64,
-    payload: E,
+impl EventId {
+    fn pack(slot: u32, gen: u32) -> EventId {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Sentinel heap position for slots not currently queued.
+const NOT_QUEUED: u32 = u32::MAX;
+
+/// Heap arity. 4 trades a slightly deeper comparison fan-out per level
+/// for half the depth of a binary heap — fewer cache lines touched per
+/// sift on the schedule/step churn that dominates simulation runs.
+const ARITY: usize = 4;
+
+struct Slot<E> {
+    /// Bumped on every free; stale [`EventId`]s fail the generation check.
+    gen: u32,
+    /// Position in `heap`, or [`NOT_QUEUED`].
+    heap_pos: u32,
+    payload: Option<E>,
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// One heap entry. The ordering key lives here, not in the slot, so a
+/// sift touches only the contiguous heap array — no pointer chase into
+/// the slab per comparison.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    /// Delivery time.
+    at: Time,
+    /// FIFO tie-break.
+    seq: u64,
+    /// Backing slab slot (payload + generation).
+    slot: u32,
 }
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+impl HeapEntry {
+    #[inline]
+    fn before(self, other: HeapEntry) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
 /// A deterministic discrete-event scheduler.
 ///
-/// See the [module documentation](self) for the driving pattern.
-///
-/// Scheduling, cancelling, and delivering are all O(log n): cancelled
-/// events become tombstones that are garbage-collected whenever they
-/// reach the top of the heap, so the invariant "the heap top is live"
-/// holds between calls and [`peek_time`](Engine::peek_time) is O(1).
+/// See the [module documentation](self) for the driving pattern and
+/// the data-structure notes. Scheduling and delivering are O(log n)
+/// with no allocation beyond slab growth; cancelling is O(log n) with
+/// no hashing; [`peek_time`](Engine::peek_time) is O(1).
 pub struct Engine<E> {
     now: Time,
-    heap: BinaryHeap<Entry<E>>,
-    /// Seqs scheduled and not yet fired or cancelled.
-    live: HashSet<u64>,
-    /// Seqs cancelled but still buried in the heap.
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    /// Indices of free slots, reused LIFO.
+    free: Vec<u32>,
+    /// 4-ary min-heap keyed by `(at, seq)`, with inline keys.
+    heap: Vec<HeapEntry>,
     next_seq: u64,
     delivered: u64,
 }
@@ -106,9 +149,22 @@ impl<E> Engine<E> {
     pub fn new() -> Engine<E> {
         Engine {
             now: Time::ZERO,
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Creates an engine with slab and heap capacity for `n` pending
+    /// events, avoiding growth reallocations during warm-up.
+    pub fn with_capacity(n: usize) -> Engine<E> {
+        Engine {
+            now: Time::ZERO,
+            slots: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+            heap: Vec::with_capacity(n),
             next_seq: 0,
             delivered: 0,
         }
@@ -127,12 +183,12 @@ impl<E> Engine<E> {
 
     /// Number of live events still pending.
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.heap.len()
     }
 
     /// `true` if no live events remain.
     pub fn is_idle(&self) -> bool {
-        self.pending() == 0
+        self.heap.is_empty()
     }
 
     /// Schedules `payload` to fire `delay` after the current time.
@@ -156,22 +212,25 @@ impl<E> Engine<E> {
         assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        self.live.insert(seq);
-        EventId(seq)
-    }
-
-    /// Pops tombstoned entries off the heap top, restoring the
-    /// invariant that the top (if any) is a live event.
-    fn gc_top(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.seq) {
-                let dead = self.heap.pop().expect("peeked");
-                self.cancelled.remove(&dead.seq);
-            } else {
-                break;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                debug_assert!(s.heap_pos == NOT_QUEUED && s.payload.is_none());
+                s.payload = Some(payload);
+                i
             }
-        }
+            None => {
+                let i = self.slots.len();
+                assert!(i < NOT_QUEUED as usize, "event slab exhausted");
+                self.slots.push(Slot { gen: 0, heap_pos: NOT_QUEUED, payload: Some(payload) });
+                i as u32
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.slots[slot as usize].heap_pos = pos as u32;
+        self.sift_up(pos);
+        EventId::pack(slot, self.slots[slot as usize].gen)
     }
 
     /// Cancels a previously scheduled event.
@@ -179,32 +238,70 @@ impl<E> Engine<E> {
     /// Returns `true` if the event was still pending (it will not be
     /// delivered), `false` if it already fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.live.remove(&id.0) {
+        let slot = id.slot();
+        let Some(s) = self.slots.get(slot as usize) else { return false };
+        if s.gen != id.gen() || s.heap_pos == NOT_QUEUED {
             return false; // already fired, already cancelled, or unknown
         }
-        self.cancelled.insert(id.0);
-        self.gc_top();
+        let pos = s.heap_pos as usize;
+        self.remove_at(pos);
+        self.release(slot);
         true
     }
 
     /// Delivers the next event: advances the clock to its timestamp and
     /// returns its payload, or `None` if the queue is empty.
     pub fn step(&mut self) -> Option<E> {
-        // The gc invariant guarantees the top (if any) is live.
-        let entry = self.heap.pop()?;
-        debug_assert!(!self.cancelled.contains(&entry.seq), "gc invariant violated");
-        debug_assert!(entry.at >= self.now);
-        self.live.remove(&entry.seq);
-        self.gc_top();
-        self.now = entry.at;
+        let &root = self.heap.first()?;
+        debug_assert!(root.at >= self.now);
+        self.remove_at(0);
+        self.now = root.at;
+        let payload =
+            self.slots[root.slot as usize].payload.take().expect("queued slot has a payload");
+        self.release(root.slot);
         self.delivered += 1;
-        Some(entry.payload)
+        Some(payload)
+    }
+
+    /// Delivers **every** event sharing the earliest pending timestamp:
+    /// advances the clock to it, appends the payloads to `out` in FIFO
+    /// order, and returns the timestamp — or `None` (leaving `out`
+    /// untouched) if the queue is empty.
+    ///
+    /// This is the bulk form of [`step`](Engine::step) for drivers that
+    /// drain one simulated instant at a time (e.g. one 70 ns HUB cycle):
+    /// one call replaces a peek/compare/pop cycle per event. Events
+    /// scheduled *at the returned timestamp while the batch is being
+    /// processed* are not lost — they form the next batch, preserving
+    /// global FIFO order (their sequence numbers are higher than
+    /// everything already popped).
+    ///
+    /// Note that the popped events are committed for delivery:
+    /// [`cancel`](Engine::cancel) on one of them returns `false` once
+    /// this call returns. Callers that interleave cancellation with
+    /// batch draining must filter stale events themselves (the world
+    /// keeps its timer table for exactly this).
+    pub fn step_batch(&mut self, out: &mut Vec<E>) -> Option<Time> {
+        let at = self.heap.first()?.at;
+        self.now = at;
+        while let Some(&top) = self.heap.first() {
+            if top.at != at {
+                break;
+            }
+            self.remove_at(0);
+            let payload =
+                self.slots[top.slot as usize].payload.take().expect("queued slot has a payload");
+            self.release(top.slot);
+            self.delivered += 1;
+            out.push(payload);
+        }
+        Some(at)
     }
 
     /// The timestamp of the next live event, if any, without delivering
-    /// it. O(1) thanks to the gc invariant.
+    /// it. O(1): the heap root is always live.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// Advances the clock to `t` without delivering anything.
@@ -257,6 +354,82 @@ impl<E> Engine<E> {
         F: FnMut(&mut Engine<E>, E),
     {
         self.run_until(Time::MAX, handler)
+    }
+
+    // ---------------------------------------------------------------
+    // Indexed-heap internals
+    // ---------------------------------------------------------------
+
+    #[inline]
+    fn place(&mut self, pos: usize, entry: HeapEntry) {
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].heap_pos = pos as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        let moving = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if moving.before(self.heap[parent]) {
+                let p = self.heap[parent];
+                self.place(pos, p);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        self.place(pos, moving);
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let moving = self.heap[pos];
+        loop {
+            let first = pos * ARITY + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + ARITY).min(self.heap.len());
+            let mut best = first;
+            for c in first + 1..last {
+                if self.heap[c].before(self.heap[best]) {
+                    best = c;
+                }
+            }
+            if self.heap[best].before(moving) {
+                let b = self.heap[best];
+                self.place(pos, b);
+                pos = best;
+            } else {
+                break;
+            }
+        }
+        self.place(pos, moving);
+    }
+
+    /// Removes the heap entry at `pos`, restoring the heap invariant.
+    /// The removed slot's `heap_pos` is left dangling; the caller frees
+    /// or repurposes the slot immediately.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.pop().expect("remove_at on empty heap");
+        if pos == self.heap.len() {
+            return; // removed the tail entry
+        }
+        self.place(pos, last);
+        // The moved tail entry may order before or after its new
+        // neighbourhood; one direction will be a no-op.
+        self.sift_down(pos);
+        if self.slots[last.slot as usize].heap_pos == pos as u32 {
+            self.sift_up(pos);
+        }
+    }
+
+    /// Returns `slot` to the freelist with a bumped generation.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.payload = None;
+        s.heap_pos = NOT_QUEUED;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
     }
 }
 
@@ -363,5 +536,134 @@ mod tests {
         assert_eq!(eng.peek_time(), Some(Time::from_nanos(7)));
         assert_eq!(eng.step(), Some(2));
         assert_eq!(eng.now(), Time::from_nanos(7));
+    }
+
+    #[test]
+    fn event_ids_are_never_reused() {
+        // Slots are recycled aggressively; the generation tag must keep
+        // every handle distinct anyway.
+        let mut eng: Engine<u32> = Engine::new();
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..100 {
+            let id = eng.schedule(Dur::from_nanos(1), round);
+            assert!(seen.insert(id), "EventId reused at round {round}");
+            if round % 2 == 0 {
+                assert_eq!(eng.step(), Some(round));
+            } else {
+                assert!(eng.cancel(id));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_handles_never_cancel_a_successor() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.schedule(Dur::from_nanos(1), 1);
+        assert!(eng.cancel(a));
+        // The slot is recycled for b; the stale handle must not touch it.
+        let _b = eng.schedule(Dur::from_nanos(2), 2);
+        assert!(!eng.cancel(a));
+        assert_eq!(eng.step(), Some(2));
+    }
+
+    /// Satellite regression: the seed engine eagerly tombstone-collected
+    /// on every cancel; the indexed heap must keep the cheap invariants
+    /// — `peek_time` always reflects the earliest *live* event and FIFO
+    /// tie-break survives arbitrary cancel/schedule interleaving.
+    #[test]
+    fn interleaved_cancel_schedule_preserves_peek_and_fifo() {
+        let mut eng: Engine<u32> = Engine::new();
+        // Three ties at t=10 with cancellations punched into the middle,
+        // plus earlier events cancelled before and after scheduling ties.
+        let early = eng.schedule(Dur::from_nanos(5), 100);
+        let t1 = eng.schedule(Dur::from_nanos(10), 1);
+        let t2 = eng.schedule(Dur::from_nanos(10), 2);
+        assert_eq!(eng.peek_time(), Some(Time::from_nanos(5)));
+        assert!(eng.cancel(early));
+        // Cancelling the front immediately re-exposes the tie group.
+        assert_eq!(eng.peek_time(), Some(Time::from_nanos(10)));
+        let t3 = eng.schedule(Dur::from_nanos(10), 3);
+        assert!(eng.cancel(t2));
+        let t4 = eng.schedule(Dur::from_nanos(10), 4);
+        let _ = (t1, t3, t4);
+        // FIFO among survivors of the tie: 1, then 3, then 4.
+        assert_eq!(eng.step(), Some(1));
+        assert_eq!(eng.peek_time(), Some(Time::from_nanos(10)));
+        assert_eq!(eng.step(), Some(3));
+        assert_eq!(eng.step(), Some(4));
+        assert_eq!(eng.step(), None);
+        assert!(eng.is_idle());
+    }
+
+    #[test]
+    fn cancel_deep_in_heap_keeps_order() {
+        // Cancel entries at every depth of the 4-ary heap and check the
+        // survivors still come out sorted.
+        let mut eng: Engine<u64> = Engine::new();
+        let mut ids = Vec::new();
+        for i in 0..64u64 {
+            // Scatter times so the heap has structure.
+            let t = (i * 37) % 101 + 1;
+            ids.push((eng.schedule(Dur::from_nanos(t), t), i));
+        }
+        for (i, &(id, _)) in ids.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(eng.cancel(id));
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(t) = eng.step() {
+            out.push(t);
+        }
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted, "cancellation corrupted heap order");
+        assert_eq!(out.len(), 64 - 64usize.div_ceil(3));
+    }
+
+    #[test]
+    fn step_batch_drains_one_instant_fifo() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(Dur::from_nanos(10), 1);
+        eng.schedule(Dur::from_nanos(10), 2);
+        eng.schedule(Dur::from_nanos(10), 3);
+        eng.schedule(Dur::from_nanos(20), 4);
+        let mut out = Vec::new();
+        assert_eq!(eng.step_batch(&mut out), Some(Time::from_nanos(10)));
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(eng.now(), Time::from_nanos(10));
+        assert_eq!(eng.pending(), 1);
+        out.clear();
+        assert_eq!(eng.step_batch(&mut out), Some(Time::from_nanos(20)));
+        assert_eq!(out, vec![4]);
+        out.clear();
+        assert_eq!(eng.step_batch(&mut out), None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn step_batch_matches_step_by_step() {
+        // The batched and per-event drains must produce identical
+        // delivery sequences, including same-instant reschedules.
+        let build = || {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..200u64 {
+                eng.schedule(Dur::from_nanos((i * 13) % 23), i);
+            }
+            eng
+        };
+        let mut a = build();
+        let mut by_step = Vec::new();
+        while let Some(ev) = a.step() {
+            by_step.push((a.now(), ev));
+        }
+        let mut b = build();
+        let mut by_batch = Vec::new();
+        let mut buf = Vec::new();
+        while let Some(at) = b.step_batch(&mut buf) {
+            by_batch.extend(buf.drain(..).map(|ev| (at, ev)));
+        }
+        assert_eq!(by_step, by_batch);
+        assert_eq!(a.events_delivered(), b.events_delivered());
     }
 }

@@ -109,15 +109,18 @@ impl Trace {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Trace {
         assert!(capacity > 0, "trace capacity must be positive");
-        Trace { ring: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: true, dropped: 0 }
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
     }
 
     /// Creates a disabled trace with the default capacity (records are
     /// discarded until [`set_enabled`](Trace::set_enabled)).
     pub fn disabled() -> Trace {
-        let mut t = Trace::default();
-        t.enabled = false;
-        t
+        Trace { enabled: false, ..Trace::default() }
     }
 
     /// Turns recording on or off.

@@ -88,7 +88,7 @@ impl Bandwidth {
     pub fn transfer_time(self, bytes: usize) -> Dur {
         let bits = bytes as u128 * 8;
         // ceil(bits * 1e9 / bps)
-        let ns = (bits * 1_000_000_000 + self.0 as u128 - 1) / self.0 as u128;
+        let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
         Dur::from_nanos(u64::try_from(ns).expect("transfer time overflows u64 nanoseconds"))
     }
 

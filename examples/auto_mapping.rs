@@ -31,7 +31,11 @@ fn main() {
     // Target configuration: two HUB clusters of four CABs (Fig. 3).
     let topo = Topology::mesh2d(1, 2, 4, 16);
 
-    println!("task graph: {} tasks, {} flows; target: 2 clusters x 4 CABs\n", g.len(), g.flows().len());
+    println!(
+        "task graph: {} tasks, {} flows; target: 2 clusters x 4 CABs\n",
+        g.len(),
+        g.flows().len()
+    );
     println!("  {:<24} {:>10} {:>14}", "strategy", "predicted", "measured");
     for (label, placement) in [
         ("round-robin", map_round_robin(&g, &topo)),

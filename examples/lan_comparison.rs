@@ -30,14 +30,19 @@ fn main() {
     println!("  {:>10}  {:>12}  {:>12}", "offered", "delivered", "mean delay");
     for &mbps in &[2u64, 8, 16] {
         let mut loaded = LanSystem::new(16, LanConfig::default());
-        let r = loaded.offered_load_run(
-            Bandwidth::from_mbit_per_sec(mbps),
-            512,
-            Dur::from_millis(300),
+        let r =
+            loaded.offered_load_run(Bandwidth::from_mbit_per_sec(mbps), 512, Dur::from_millis(300));
+        println!(
+            "  {:>10}  {:>12}  {:>12}",
+            format!("{}", r.offered),
+            format!("{}", r.delivered),
+            format!("{}", r.mean_delay)
         );
-        println!("  {:>10}  {:>12}  {:>12}", format!("{}", r.offered), format!("{}", r.delivered), format!("{}", r.mean_delay));
     }
     let mut big = NectarSystem::single_hub(16, SystemConfig::default());
     let agg = big.measure_ring_aggregate(64 * 1024, 8192);
-    println!("\n  Nectar 16-CAB crossbar, same pressure: {} aggregate — no shared-medium collapse", agg.rate);
+    println!(
+        "\n  Nectar 16-CAB crossbar, same pressure: {} aggregate — no shared-medium collapse",
+        agg.rate
+    );
 }

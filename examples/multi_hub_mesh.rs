@@ -11,9 +11,17 @@ use nectar::hub::id::PortId;
 fn main() {
     // --- Fig. 4: a 3x3 mesh of HUB clusters -------------------------
     let mut sys = NectarSystem::mesh(3, 3, 4, SystemConfig::default());
-    println!("Fig. 4 mesh: 3x3 HUB clusters, 4 CABs each = {} CABs", sys.world().topology().cab_count());
+    println!(
+        "Fig. 4 mesh: 3x3 HUB clusters, 4 CABs each = {} CABs",
+        sys.world().topology().cab_count()
+    );
     println!("\n  hops  latency (64 B)");
-    for (dst, label) in [(1usize, "same cluster"), (4, "next cluster"), (16, "two clusters"), (35, "corner to corner")] {
+    for (dst, label) in [
+        (1usize, "same cluster"),
+        (4, "next cluster"),
+        (16, "two clusters"),
+        (35, "corner to corner"),
+    ] {
         let hops = sys.world().topology().hop_count(0, dst).unwrap();
         let r = sys.measure_cab_to_cab(0, dst, 64);
         println!("  {hops:>4}  {}  ({label})", r.latency);

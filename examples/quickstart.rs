@@ -25,9 +25,7 @@ fn main() {
     let consumer = app.create_task("consumer", 1);
 
     app.send(producer, consumer, b"hello from the Warp side");
-    let msg = app
-        .receive_blocking(consumer, Dur::from_millis(5))
-        .expect("message delivered");
+    let msg = app.receive_blocking(consumer, Dur::from_millis(5)).expect("message delivered");
     println!(
         "Nectarine: {} -> {} delivered {:?}",
         app.task_name(producer),

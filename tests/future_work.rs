@@ -42,10 +42,8 @@ fn ip_datagrams_ride_nectar_end_to_end() {
 
 #[test]
 fn vlsi_projection_runs_a_wider_faster_system() {
-    let cfg = SystemConfig {
-        hub: nectar::hub::config::HubConfig::vlsi(),
-        ..SystemConfig::default()
-    };
+    let cfg =
+        SystemConfig { hub: nectar::hub::config::HubConfig::vlsi(), ..SystemConfig::default() };
     let mut sys = NectarSystem::single_hub(32, cfg);
     // Latency improves (wire + hub are faster); software still rules.
     let r = sys.measure_cab_to_cab(0, 31, 64);

@@ -26,9 +26,8 @@ fn mixed_workload_on_a_mesh_with_faults_stays_correct() {
     let mut sys = NectarSystem::mesh(2, 2, 3, SystemConfig::default());
     sys.world_mut().inject_faults(0.05, 0.05, 2026);
     let n = sys.world().topology().cab_count();
-    let payloads: Vec<Vec<u8>> = (0..n)
-        .map(|i| (0..3000).map(|j| ((i * 7 + j) % 251) as u8).collect())
-        .collect();
+    let payloads: Vec<Vec<u8>> =
+        (0..n).map(|i| (0..3000).map(|j| ((i * 7 + j) % 251) as u8).collect()).collect();
     for (i, p) in payloads.iter().enumerate() {
         let dst = (i + n / 2) % n;
         if dst != i {
@@ -60,11 +59,7 @@ fn deliveries_are_deterministic_across_runs() {
             sys.world_mut().send_stream_now(i, (i + 1) % 6, 1, 2, &vec![i as u8; 2500]);
         }
         sys.world_mut().run_until(Time::from_millis(300));
-        sys.world()
-            .deliveries
-            .iter()
-            .map(|d| (d.cab, d.msg_id, d.len, d.at))
-            .collect::<Vec<_>>()
+        sys.world().deliveries.iter().map(|d| (d.cab, d.msg_id, d.len, d.at)).collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "same seed, same world, same timeline");
 }
@@ -155,9 +150,8 @@ fn lan_and_nectar_probes_share_one_story() {
     let mut lan = LanSystem::new(4, LanConfig::default());
     let mut nec = NectarSystem::single_hub(4, SystemConfig::default());
     let lan_lat = lan.measure_latency(0, 1, 64);
-    let nec_lat = nec
-        .measure_node_to_node(0, 1, 64, nectar::core::node::NodeInterface::SharedMemory)
-        .latency;
+    let nec_lat =
+        nec.measure_node_to_node(0, 1, 64, nectar::core::node::NodeInterface::SharedMemory).latency;
     assert!(
         lan_lat.nanos() >= 10 * nec_lat.nanos(),
         "order-of-magnitude claim: LAN {lan_lat} vs Nectar {nec_lat}"
