@@ -50,7 +50,7 @@ fn bench_bytestream_roundtrip(c: &mut Criterion) {
                 assert!(guard < 1000);
                 let mut next = Vec::new();
                 for action in pending.drain(..) {
-                    if let Action::Send { header, payload } = action {
+                    if let Action::Send { header, payload, .. } = action {
                         let target =
                             if header.dst_cab == CabId::new(1) { &mut rx } else { &mut tx };
                         let mut out = Vec::new();

@@ -1,0 +1,123 @@
+//! Validates the harness's machine-readable exports: `BENCH_sim.json`
+//! (with `--expect-metrics`, every experiment must carry a metrics
+//! object) and a Chrome trace-event file from `report --trace`.
+//!
+//! ```text
+//! check_export --bench BENCH_sim.json [--expect-metrics] [--trace trace.json]
+//! ```
+//!
+//! Exits non-zero with a diagnostic on the first violation; CI runs it
+//! after the bench smoke to keep the export formats honest.
+
+use nectar_sim::json::{parse, Json};
+
+fn usage() -> ! {
+    eprintln!("usage: check_export --bench PATH [--expect-metrics] [--trace PATH]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_export: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")))
+}
+
+fn check_bench(path: &str, expect_metrics: bool) {
+    let v = load(path);
+    let exps = v
+        .get("experiments")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: no \"experiments\" array")));
+    if exps.is_empty() {
+        fail(&format!("{path}: empty experiments array"));
+    }
+    for e in exps {
+        let id = e
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("{path}: experiment without an id")));
+        for field in ["wall_ms", "events", "events_per_sec"] {
+            if e.get(field).and_then(Json::as_f64).is_none() {
+                fail(&format!("{path}: experiment {id} missing numeric {field}"));
+            }
+        }
+        if expect_metrics {
+            let m = e
+                .get("metrics")
+                .unwrap_or_else(|| fail(&format!("{path}: experiment {id} has no metrics")));
+            if m.get("counters").and_then(Json::as_object).is_none() {
+                fail(&format!("{path}: experiment {id} metrics lack counters"));
+            }
+            if let Some(hists) = m.get("histograms").and_then(Json::as_object) {
+                for (name, h) in hists {
+                    for q in ["p50", "p99"] {
+                        if h.get(q).and_then(Json::as_f64).is_none() {
+                            fail(&format!("{path}: histogram {name} in {id} missing {q}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("check_export: {path} ok ({} experiments)", exps.len());
+}
+
+fn check_trace(path: &str) {
+    let v = load(path);
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: no \"traceEvents\" array")));
+    if events.is_empty() {
+        fail(&format!("{path}: empty trace — was the experiment instrumented?"));
+    }
+    let mut hub_pids = std::collections::BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("{path}: event {i} has no ph")));
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(&format!("{path}: event {i} has no pid")));
+        // Metadata events carry no timestamp; everything else must.
+        if ph != "M" && e.get("ts").and_then(Json::as_f64).is_none() {
+            fail(&format!("{path}: event {i} (ph={ph}) has no ts"));
+        }
+        // Crossbar slices live on HUB process tracks (pid 1..=255).
+        if ph == "X" && (1.0..1000.0).contains(&pid) {
+            hub_pids.insert(pid as u64);
+        }
+    }
+    println!("check_export: {path} ok ({} events, {} HUB tracks)", events.len(), hub_pids.len());
+}
+
+fn main() {
+    let mut bench: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut expect_metrics = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--expect-metrics" => expect_metrics = true,
+            _ => usage(),
+        }
+    }
+    if bench.is_none() && trace.is_none() {
+        usage();
+    }
+    if let Some(p) = bench {
+        check_bench(&p, expect_metrics);
+    }
+    if let Some(p) = trace {
+        check_trace(&p);
+    }
+}

@@ -6,8 +6,15 @@
 //! Usage:
 //!
 //! ```text
-//! report [--list] [--jobs N] [--json PATH] [ids... | all]
+//! report [--list] [--jobs N] [--json PATH] [--metrics]
+//!        [--trace EXP] [--trace-out PATH] [ids... | all]
 //! ```
+//!
+//! `--metrics` harvests every experiment's counters and latency
+//! histograms into the `metrics` object of `BENCH_sim.json`.
+//! `--trace EXP` records the flight recorder while experiment `EXP`
+//! runs and writes a Chrome trace-event file (load it in Perfetto or
+//! `chrome://tracing`) to `--trace-out`, default `trace_<EXP>.json`.
 //!
 //! Every experiment builds its own world, so they are embarrassingly
 //! parallel: with `--jobs N` the registry is drained by `N` scoped
@@ -15,7 +22,7 @@
 //! stays deterministic — tables are buffered and printed in registry
 //! order regardless of completion order.
 
-use nectar_bench::experiments::Experiment;
+use nectar_bench::experiments::{ExpCtx, Experiment};
 use nectar_bench::registry;
 use nectar_bench::table::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,7 +36,10 @@ struct Outcome {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: report [--list] [--jobs N] [--json PATH] [ids... | all]");
+    eprintln!(
+        "usage: report [--list] [--jobs N] [--json PATH] [--metrics] \
+         [--trace EXP] [--trace-out PATH] [ids... | all]"
+    );
     std::process::exit(2);
 }
 
@@ -38,6 +48,9 @@ fn main() {
     let mut json_path = String::from("BENCH_sim.json");
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
+    let mut metrics = false;
+    let mut trace_id: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +63,9 @@ fn main() {
                 }
             }
             "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            "--metrics" => metrics = true,
+            "--trace" => trace_id = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             other if other.starts_with('-') => usage(),
             other => ids.push(other.to_lowercase()),
         }
@@ -75,9 +91,24 @@ fn main() {
     println!("Nectar reproduction — experiment report");
     println!("(shape reproduction: simulator seeded with the paper's constants)\n");
 
-    let results = run_experiments(&selected, jobs);
+    if let Some(tid) = &trace_id {
+        if !selected.iter().any(|(id, _, _)| id == tid) {
+            eprintln!("--trace {tid} names an experiment outside the selection; try --list");
+            std::process::exit(1);
+        }
+    }
+    let results = run_experiments(&selected, jobs, metrics, trace_id.as_deref());
     for r in &results {
         println!("{}", r.table);
+    }
+    if let Some(tid) = &trace_id {
+        let r = results.iter().find(|r| r.id == tid).expect("traced experiment ran");
+        let path = trace_out.unwrap_or_else(|| format!("trace_{tid}.json"));
+        let trace = nectar_sim::export::chrome_trace(&r.table.trace);
+        match std::fs::write(&path, &trace) {
+            Ok(()) => eprintln!("wrote {path} ({} telemetry events)", r.table.trace.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
     let json = render_json(&results, jobs);
     match std::fs::write(&json_path, &json) {
@@ -88,13 +119,19 @@ fn main() {
 
 /// Runs every selected experiment, on `jobs` worker threads when asked,
 /// and returns the outcomes in registry order.
-fn run_experiments(selected: &[Experiment], jobs: usize) -> Vec<Outcome> {
+fn run_experiments(
+    selected: &[Experiment],
+    jobs: usize,
+    metrics: bool,
+    trace_id: Option<&str>,
+) -> Vec<Outcome> {
+    let ctx_for = |id: &str| ExpCtx { metrics, trace: trace_id == Some(id) };
     if jobs <= 1 || selected.len() <= 1 {
         return selected
             .iter()
             .map(|&(id, _, run)| {
                 let t0 = Instant::now();
-                let table = run();
+                let table = run(&ctx_for(id));
                 Outcome { id, table, wall: t0.elapsed() }
             })
             .collect();
@@ -108,7 +145,7 @@ fn run_experiments(selected: &[Experiment], jobs: usize) -> Vec<Outcome> {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(id, _, run)) = selected.get(idx) else { break };
                 let t0 = Instant::now();
-                let table = run();
+                let table = run(&ctx_for(id));
                 let outcome = Outcome { id, table, wall: t0.elapsed() };
                 slots.lock().expect("no worker panicked holding the lock")[idx] = Some(outcome);
             });
@@ -150,13 +187,18 @@ fn render_json(results: &[Outcome], jobs: usize) -> String {
     for (i, r) in results.iter().enumerate() {
         let wall_s = r.wall.as_secs_f64();
         let eps = if wall_s > 0.0 { r.table.events as f64 / wall_s } else { 0.0 };
+        let metrics = match &r.table.metrics {
+            Some(m) => format!(", \"metrics\": {}", m.to_json()),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}}}{}\n",
             json_escape(r.id),
             json_escape(&r.table.title),
             wall_s * 1e3,
             r.table.events,
             eps,
+            metrics,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

@@ -1,12 +1,13 @@
 //! Application experiments (E16, E17) and ablations.
 
+use crate::experiments::ExpCtx;
 use crate::table::{mbit, us, Table};
 use nectar_apps::prelude::*;
 use nectar_core::prelude::*;
 use nectar_sim::time::Dur;
 
 /// E16 — the vision pipeline: bandwidth and latency coexist (§7).
-pub fn e16_vision() -> Table {
+pub fn e16_vision(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E16",
         "vision application: Warp images + spatial-database queries (§7)",
@@ -43,7 +44,7 @@ pub fn e16_vision() -> Table {
 }
 
 /// E17 — the parallel production system: fine-grained tokens (§7).
-pub fn e17_production() -> Table {
+pub fn e17_production(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E17",
         "parallel production system: distributed RETE tokens (§7)",
@@ -83,7 +84,7 @@ pub fn e17_production() -> Table {
 }
 
 /// E16b — scientific kernels over the iPSC layer (§7).
-pub fn e16b_scientific() -> Table {
+pub fn e16b_scientific(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E16b",
         "iPSC-ported scientific kernels (§7)",
@@ -106,7 +107,7 @@ pub fn e16b_scientific() -> Table {
 }
 
 /// Ablation — the DESIGN.md §5 design-choice studies.
-pub fn ablations() -> Table {
+pub fn ablations(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "ABL",
         "design-choice ablations (DESIGN.md §5)",
@@ -191,20 +192,20 @@ mod tests {
 
     #[test]
     fn e16_reports_all_metrics() {
-        let t = e16_vision();
+        let t = e16_vision(&ExpCtx::off());
         assert_eq!(t.rows.len(), 4);
     }
 
     #[test]
     fn e17_token_rate_beats_lan_bound() {
-        let t = e17_production();
+        let t = e17_production(&ExpCtx::off());
         let nectar_rate: f64 = t.rows[1][2].trim_end_matches(" tokens/s").parse().unwrap();
         assert!(nectar_rate > 2_000.0, "{nectar_rate}");
     }
 
     #[test]
     fn ablation_flow_control_matters() {
-        let t = ablations();
+        let t = ablations(&ExpCtx::off());
         let with_fc: u64 = t.rows[1][1].trim_end_matches(" overflows").parse().unwrap();
         let without: u64 = t.rows[1][2].trim_end_matches(" overflows").parse().unwrap();
         assert_eq!(with_fc, 0, "flow control prevents overruns");
@@ -213,7 +214,7 @@ mod tests {
 
     #[test]
     fn ablation_offload_wins() {
-        let t = ablations();
+        let t = ablations(&ExpCtx::off());
         assert!(t.rows[0][3].contains('x'));
     }
 }

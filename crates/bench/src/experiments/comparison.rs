@@ -1,5 +1,6 @@
 //! Comparison experiments against the LAN baseline: E08, E15.
 
+use crate::experiments::ExpCtx;
 use crate::table::{mbit, us, Table};
 use nectar_core::prelude::*;
 use nectar_lan::prelude::*;
@@ -8,7 +9,7 @@ use nectar_sim::units::Bandwidth;
 
 /// E08 — the order-of-magnitude claim: Nectar vs a 10 Mbit/s Ethernet
 /// with a node-resident UNIX stack (§3.1).
-pub fn e08_lan_comparison() -> Table {
+pub fn e08_lan_comparison(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E08",
         "Nectar vs current LANs (§3.1)",
@@ -53,7 +54,7 @@ pub fn e08_lan_comparison() -> Table {
 
 /// E15 — contention: delivered throughput vs offered load on the
 /// shared medium, against the crossbar's scaling (§3.1).
-pub fn e15_contention() -> Table {
+pub fn e15_contention(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E15",
         "shared medium vs crossbar under load (§3.1)",
@@ -88,7 +89,7 @@ mod tests {
 
     #[test]
     fn e08_improvement_is_an_order_of_magnitude() {
-        let t = e08_lan_comparison();
+        let t = e08_lan_comparison(&ExpCtx::off());
         // Small-message latency improvement row.
         let imp: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
         assert!(imp >= 10.0, "latency improvement {imp}x below the paper's claim");
@@ -98,7 +99,7 @@ mod tests {
 
     #[test]
     fn e15_lan_saturates_below_wire_rate() {
-        let t = e15_contention();
+        let t = e15_contention(&ExpCtx::off());
         let delivered: Vec<f64> =
             t.rows.iter().map(|r| r[1].trim_end_matches(" Mbit/s").parse().unwrap()).collect();
         assert!(delivered.iter().all(|&d| d < 10.0));

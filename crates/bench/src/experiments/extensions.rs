@@ -2,6 +2,7 @@
 //! E19 — DSM over Nectar (§7); E20 — the VLSI re-implementation
 //! projection (§3.2); E21 — Internet protocols over Nectar (§6.2.2).
 
+use crate::experiments::ExpCtx;
 use crate::table::{mbit, us, Table};
 use nectar_apps::dsm::{run_dsm, DsmConfig};
 use nectar_apps::transactions::{run_transactions, TxnConfig};
@@ -14,7 +15,7 @@ use nectar_sim::time::Dur;
 use std::net::Ipv4Addr;
 
 /// E19 — shared virtual memory with the CAB as OS co-processor (§7).
-pub fn e19_dsm() -> Table {
+pub fn e19_dsm(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E19",
         "distributed shared virtual memory over Nectar (§7)",
@@ -59,7 +60,7 @@ pub fn e19_dsm() -> Table {
 }
 
 /// E20 — the custom-VLSI re-implementation the paper plans (§3.2).
-pub fn e20_vlsi_projection() -> Table {
+pub fn e20_vlsi_projection(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E20",
         "VLSI re-implementation projection (§3.1/§3.2)",
@@ -110,7 +111,7 @@ pub fn e20_vlsi_projection() -> Table {
 }
 
 /// E21 — IP/TCP/VMTP over Nectar (§6.2.2 future work, implemented).
-pub fn e21_ip_over_nectar() -> Table {
+pub fn e21_ip_over_nectar(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E21",
         "Internet protocols over Nectar (§6.2.2 future work)",
@@ -200,7 +201,7 @@ pub fn e21_ip_over_nectar() -> Table {
 
 /// E22 — heterogeneity: the node kinds of §3.2 (Sun-3, Sun-4, Warp)
 /// through each CAB-node interface.
-pub fn e22_heterogeneity() -> Table {
+pub fn e22_heterogeneity(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E22",
         "heterogeneous nodes (§2.1/§3.2): 64 B node-to-node latency",
@@ -225,7 +226,7 @@ pub fn e22_heterogeneity() -> Table {
 }
 
 /// E23 — Camelot-style distributed transactions (§7).
-pub fn e23_transactions() -> Table {
+pub fn e23_transactions(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E23",
         "two-phase commit over Nectar (§7, Camelot)",
@@ -266,7 +267,7 @@ pub fn e23_transactions() -> Table {
 
 /// E24 — automatic task mapping (§6.3 future work): predicted vs
 /// measured communication cost for three placement strategies.
-pub fn e24_task_mapping() -> Table {
+pub fn e24_task_mapping(_ctx: &ExpCtx) -> Table {
     use nectar_core::mapping::{
         map_annealed, map_greedy, map_round_robin, predicted_cost, Placement, TaskGraph,
     };
@@ -331,19 +332,19 @@ mod tests {
 
     #[test]
     fn e19_faults_are_sub_millisecond() {
-        let t = e19_dsm();
+        let t = e19_dsm(&ExpCtx::off());
         assert!(t.rows[0][2].contains("mean"), "{:?}", t.rows[0]);
     }
 
     #[test]
     fn e20_vlsi_is_faster_and_wider() {
-        let t = e20_vlsi_projection();
+        let t = e20_vlsi_projection(&ExpCtx::off());
         assert!(t.rows[0][2].contains("128x128"));
     }
 
     #[test]
     fn e24_prediction_matches_measurement_ordering() {
-        let t = e24_task_mapping();
+        let t = e24_task_mapping(&ExpCtx::off());
         let cost = |r: usize| -> u64 { t.rows[r][1].parse().unwrap() };
         let span = |r: usize| -> f64 { t.rows[r][2].trim_end_matches(" us").parse().unwrap() };
         // Greedy and annealed predict (and measure) no worse than
@@ -355,7 +356,7 @@ mod tests {
 
     #[test]
     fn e22_warp_driver_is_catastrophic() {
-        let t = e22_heterogeneity();
+        let t = e22_heterogeneity(&ExpCtx::off());
         let warp_sm: f64 = t.rows[2][1].trim_end_matches(" us").parse().unwrap();
         let warp_drv: f64 = t.rows[2][3].trim_end_matches(" us").parse().unwrap();
         assert!(warp_drv > 10.0 * warp_sm, "offload must rescue the Warp: {warp_sm} vs {warp_drv}");
@@ -363,13 +364,13 @@ mod tests {
 
     #[test]
     fn e23_commits_under_a_millisecond() {
-        let t = e23_transactions();
+        let t = e23_transactions(&ExpCtx::off());
         assert!(t.rows[1][2].contains("us"));
     }
 
     #[test]
     fn e21_all_mappings_deliver() {
-        let t = e21_ip_over_nectar();
+        let t = e21_ip_over_nectar(&ExpCtx::off());
         assert_eq!(t.rows.len(), 4);
         for row in &t.rows[..3] {
             assert!(row[2].contains("us"), "{row:?}");

@@ -1,5 +1,6 @@
 //! Hardware-level experiments: E01, E02, E05, E06, E07.
 
+use crate::experiments::ExpCtx;
 use crate::hubdriver::{drive_hub, packet_emissions};
 use crate::table::{us, Table};
 use nectar_core::prelude::*;
@@ -8,7 +9,7 @@ use nectar_sim::prelude::*;
 
 /// E01 — HUB latency: connection setup + first byte, established-
 /// connection transfer, and pipelined bandwidth (paper §4 goal 1).
-pub fn e01_hub_latency() -> Table {
+pub fn e01_hub_latency(_ctx: &ExpCtx) -> Table {
     let mut t =
         Table::new("E01", "HUB latency and pipelining (§4)", &["metric", "paper", "measured"]);
     let mut hub = Hub::new(HubId::new(0), HubConfig::prototype());
@@ -50,7 +51,7 @@ pub fn e01_hub_latency() -> Table {
 }
 
 /// E02 — controller switching rate: one connection per 70 ns cycle.
-pub fn e02_switch_rate() -> Table {
+pub fn e02_switch_rate(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E02",
         "controller switching rate (§4 goal 2)",
@@ -103,7 +104,7 @@ pub fn fig7_topology() -> (Topology, [usize; 5]) {
 
 /// E05 — the Fig. 7 circuit-switching walk: CAB3 to CAB1 through HUB2
 /// and HUB1, exactly the §4.2.1 command sequence.
-pub fn e05_fig7_circuit() -> Table {
+pub fn e05_fig7_circuit(ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E05",
         "Fig. 7 circuit switching across four HUBs (§4.2.1)",
@@ -124,6 +125,7 @@ pub fn e05_fig7_circuit() -> Table {
     ]);
     let cfg = SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
     let mut sys = NectarSystem::custom(topo, cfg);
+    ctx.prepare(sys.world_mut());
     // Watch the walk on HUB2's instrumentation board (our index 1).
     sys.world_mut().enable_hub_trace(1);
     let report = sys.measure_cab_to_cab(cabs[2], cabs[0], 64);
@@ -148,11 +150,12 @@ pub fn e05_fig7_circuit() -> Table {
     t.note("data follows the opens in FIFO order, so no reply wait is on the critical path");
     t.note("hub ids are zero-based here: the paper's HUB2 is HUB1, HUB1 is HUB0");
     t.record_events(sys.world().events_processed());
+    ctx.absorb(&mut t, sys.world());
     t
 }
 
 /// E06 — multicast vs sequential unicast (§4.2.2/4.2.4).
-pub fn e06_multicast() -> Table {
+pub fn e06_multicast(ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E06",
         "hardware multicast vs sequential unicast (§4.2.2)",
@@ -160,9 +163,11 @@ pub fn e06_multicast() -> Table {
     );
     for fanout in [2usize, 4, 8] {
         let mut sys = NectarSystem::single_hub(fanout + 2, SystemConfig::default());
+        ctx.prepare(sys.world_mut());
         let dsts: Vec<usize> = (1..=fanout).collect();
         let (mc, uc) = sys.measure_multicast_vs_unicast(0, &dsts, 512);
         t.record_events(sys.world().events_processed());
+        ctx.absorb(&mut t, sys.world());
         t.row(&[
             format!("{fanout}"),
             us(mc),
@@ -176,7 +181,7 @@ pub fn e06_multicast() -> Table {
 
 /// E07 — packet switching vs circuit switching across message sizes,
 /// and the 1 KB packet-size rule (§4.2.3).
-pub fn e07_circuit_vs_packet() -> Table {
+pub fn e07_circuit_vs_packet(ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E07",
         "packet vs circuit switching by message size (§4.2.3)",
@@ -184,6 +189,7 @@ pub fn e07_circuit_vs_packet() -> Table {
     );
     for &size in &[64usize, 512, 1024, 4096, 16384, 65536] {
         let mut ps = NectarSystem::single_hub(2, SystemConfig::default());
+        ctx.prepare(ps.world_mut());
         let lat_ps = ps.measure_cab_to_cab(0, 1, size).latency;
         let cfg =
             SystemConfig { switching: SwitchingMode::CircuitCached, ..SystemConfig::default() };
@@ -193,6 +199,7 @@ pub fn e07_circuit_vs_packet() -> Table {
         let lat_cs = cs.measure_cab_to_cab(0, 1, size).latency;
         t.record_events(ps.world().events_processed());
         t.record_events(cs.world().events_processed());
+        ctx.absorb(&mut t, ps.world());
         let frags = nectar_proto::transport::frag::fragment_count(size, 990);
         t.row(&[format!("{size} B"), us(lat_ps), us(lat_cs), format!("{frags}")]);
     }
@@ -207,26 +214,26 @@ mod tests {
 
     #[test]
     fn e01_hits_the_paper_numbers() {
-        let t = e01_hub_latency();
+        let t = e01_hub_latency(&ExpCtx::off());
         assert!(t.rows[0][2].contains("700 ns"), "{}", t.rows[0][2]);
         assert!(t.rows[1][2].contains("350 ns"), "{}", t.rows[1][2]);
     }
 
     #[test]
     fn e02_shows_70ns_spacing() {
-        let t = e02_switch_rate();
+        let t = e02_switch_rate(&ExpCtx::off());
         assert!(t.rows[0][2].contains("70 ns"), "{}", t.rows[0][2]);
     }
 
     #[test]
     fn e05_route_matches_paper() {
-        let t = e05_fig7_circuit();
+        let t = e05_fig7_circuit(&ExpCtx::off());
         assert!(t.rows[1][2].contains("open with retry HUB1 P8"), "{}", t.rows[1][2]);
     }
 
     #[test]
     fn e06_multicast_always_wins() {
-        let t = e06_multicast();
+        let t = e06_multicast(&ExpCtx::off());
         for row in &t.rows {
             let speedup: f64 = row[3].trim_end_matches('x').parse().unwrap();
             assert!(speedup > 1.0, "{row:?}");
@@ -235,7 +242,7 @@ mod tests {
 
     #[test]
     fn e07_runs_all_sizes() {
-        let t = e07_circuit_vs_packet();
+        let t = e07_circuit_vs_packet(&ExpCtx::off());
         assert_eq!(t.rows.len(), 6);
     }
 }

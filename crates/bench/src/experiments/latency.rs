@@ -1,5 +1,6 @@
 //! Latency experiments: E03, E09, E12, E14.
 
+use crate::experiments::ExpCtx;
 use crate::table::{us, Table};
 use nectar_cab::timings::CabTimings;
 use nectar_core::prelude::*;
@@ -8,7 +9,7 @@ use nectar_sim::time::{Dur, Time};
 
 /// E03 — the §2.3 latency goals: CAB↔CAB < 30 µs, node↔node < 100 µs,
 /// HUB connection < 1 µs.
-pub fn e03_latency_goals() -> Table {
+pub fn e03_latency_goals(ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E03",
         "communication latency goals (§2.3)",
@@ -17,6 +18,7 @@ pub fn e03_latency_goals() -> Table {
     let cfg = SystemConfig::default();
     let hub_setup = cfg.hub.connect_latency() + cfg.hub.transit;
     let mut sys = NectarSystem::single_hub(4, cfg);
+    ctx.prepare(sys.world_mut());
     for &size in &[16usize, 64, 256] {
         let r = sys.measure_cab_to_cab(0, 1, size);
         t.row(&[
@@ -42,12 +44,13 @@ pub fn e03_latency_goals() -> Table {
         yesno(hub_setup < Dur::from_micros(1)),
     ]);
     t.record_events(sys.world().events_processed());
+    ctx.absorb(&mut t, sys.world());
     t
 }
 
 /// E09 — kernel operation costs: thread switch 10–15 µs, interrupt
 /// path, mailbox operations (§6.1).
-pub fn e09_kernel_ops() -> Table {
+pub fn e09_kernel_ops(_ctx: &ExpCtx) -> Table {
     let mut t =
         Table::new("E09", "CAB kernel operation costs (§6.1)", &["operation", "paper", "measured"]);
     let timings = CabTimings::prototype();
@@ -91,7 +94,7 @@ pub fn e09_kernel_ops() -> Table {
 }
 
 /// E12 — the three CAB–node interfaces (§6.2.3).
-pub fn e12_node_interfaces() -> Table {
+pub fn e12_node_interfaces(ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E12",
         "CAB-node interfaces (§6.2.3)",
@@ -101,8 +104,10 @@ pub fn e12_node_interfaces() -> Table {
         let mut cells = vec![iface.to_string()];
         for &size in &[64usize, 4096, 65536] {
             let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
+            ctx.prepare(sys.world_mut());
             let r = sys.measure_node_to_node(0, 1, size, iface);
             t.record_events(sys.world().events_processed());
+            ctx.absorb(&mut t, sys.world());
             cells.push(us(r.latency));
         }
         t.row(&cells);
@@ -113,13 +118,14 @@ pub fn e12_node_interfaces() -> Table {
 }
 
 /// E14 — multi-HUB scaling: latency vs hop count on a mesh (Fig. 4).
-pub fn e14_mesh_scaling() -> Table {
+pub fn e14_mesh_scaling(ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E14",
         "latency vs HUB hops on a mesh (Fig. 4, §4 goal 3)",
         &["HUBs traversed", "64 B latency", "increment"],
     );
     let mut sys = NectarSystem::mesh(1, 6, 2, SystemConfig::default());
+    ctx.prepare(sys.world_mut());
     let mut prev: Option<Dur> = None;
     for hub in 0..6usize {
         let dst = hub * 2 + 1; // second CAB on each hub
@@ -134,6 +140,7 @@ pub fn e14_mesh_scaling() -> Table {
         prev = Some(r.latency);
     }
     t.record_events(sys.world().events_processed());
+    ctx.absorb(&mut t, sys.world());
     t.note("paper: \"latency of process to process communication in a multi-HUB system is not");
     t.note("significantly higher\" — each extra HUB adds ~store-and-forward of one small packet");
     t
@@ -153,7 +160,7 @@ mod tests {
 
     #[test]
     fn e03_meets_every_goal() {
-        let t = e03_latency_goals();
+        let t = e03_latency_goals(&ExpCtx::off());
         for row in &t.rows {
             assert_eq!(row[3], "yes", "goal missed: {row:?}");
         }
@@ -161,14 +168,14 @@ mod tests {
 
     #[test]
     fn e09_switch_in_published_band() {
-        let t = e09_kernel_ops();
+        let t = e09_kernel_ops(&ExpCtx::off());
         let v: f64 = t.rows[0][2].trim_end_matches(" us").parse().unwrap();
         assert!((10.0..=15.0).contains(&v));
     }
 
     #[test]
     fn e12_shared_memory_fastest() {
-        let t = e12_node_interfaces();
+        let t = e12_node_interfaces(&ExpCtx::off());
         let lat = |row: usize, col: usize| -> f64 {
             t.rows[row][col].trim_end_matches(" us").parse().unwrap()
         };
@@ -180,7 +187,7 @@ mod tests {
 
     #[test]
     fn e14_latency_monotone_in_hops() {
-        let t = e14_mesh_scaling();
+        let t = e14_mesh_scaling(&ExpCtx::off());
         let lats: Vec<f64> =
             t.rows.iter().map(|r| r[1].trim_end_matches(" us").parse().unwrap()).collect();
         for w in lats.windows(2) {

@@ -10,14 +10,60 @@ pub mod throughput;
 pub mod transport_exp;
 
 use crate::table::Table;
+use nectar_core::world::World;
+
+/// What the harness wants an experiment to collect beyond its table.
+/// Passed to every runner; [`ExpCtx::off`] is the plain-report default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpCtx {
+    /// Harvest a [`nectar_sim::metrics::MetricsRegistry`] from every
+    /// world the experiment drives.
+    pub metrics: bool,
+    /// Capture the flight-recorder event stream for a Chrome trace.
+    pub trace: bool,
+}
+
+impl ExpCtx {
+    /// No collection: the experiment produces only its table.
+    pub fn off() -> ExpCtx {
+        ExpCtx::default()
+    }
+
+    /// `true` when the experiment should switch the flight recorder on.
+    pub fn observing(&self) -> bool {
+        self.metrics || self.trace
+    }
+
+    /// Arms a freshly built world, before any traffic flows.
+    pub fn prepare(&self, world: &mut World) {
+        if self.observing() {
+            world.enable_observability();
+        }
+    }
+
+    /// Harvests a world into the table: metrics merge (so experiments
+    /// driving several worlds accumulate), trace events append.
+    pub fn absorb(&self, table: &mut Table, world: &World) {
+        if self.metrics {
+            let m = world.metrics();
+            match &mut table.metrics {
+                Some(t) => t.merge(&m),
+                None => table.metrics = Some(m),
+            }
+        }
+        if self.trace {
+            table.trace.extend(world.telemetry_events());
+        }
+    }
+}
 
 /// One registry entry: `(id, description, runner)`.
-pub type Experiment = (&'static str, &'static str, fn() -> Table);
+pub type Experiment = (&'static str, &'static str, fn(&ExpCtx) -> Table);
 
 /// All experiments in DESIGN.md order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        ("e01", "HUB latency & pipelining", hub_level::e01_hub_latency as fn() -> Table),
+        ("e01", "HUB latency & pipelining", hub_level::e01_hub_latency as fn(&ExpCtx) -> Table),
         ("e02", "controller switching rate", hub_level::e02_switch_rate),
         ("e03", "latency goals (§2.3)", latency::e03_latency_goals),
         ("e04", "aggregate bandwidth", throughput::e04_aggregate_bandwidth),

@@ -1,5 +1,6 @@
 //! Throughput experiments: E04, E11, E13, E18.
 
+use crate::experiments::ExpCtx;
 use crate::table::{mbit, us, Table};
 use nectar_cab::dma::{Channel, DmaController};
 use nectar_cab::timings::CabTimings;
@@ -10,7 +11,7 @@ use nectar_sim::units::Bandwidth;
 
 /// E04 — aggregate backplane bandwidth: 16 CABs in a ring approach the
 /// 1.6 Gbit/s the abstract claims.
-pub fn e04_aggregate_bandwidth() -> Table {
+pub fn e04_aggregate_bandwidth(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E04",
         "aggregate backplane bandwidth (abstract, §3.1)",
@@ -43,7 +44,7 @@ pub fn e04_aggregate_bandwidth() -> Table {
 /// E11 — the packet pipeline for large node-to-node messages (§6.2.2):
 /// packet-size sweep, the planner's optimum, and the no-overlap
 /// baseline.
-pub fn e11_packet_pipeline() -> Table {
+pub fn e11_packet_pipeline(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E11",
         "packet pipeline for large messages (§6.2.2)",
@@ -79,7 +80,7 @@ pub fn e11_packet_pipeline() -> Table {
 
 /// E13 — CAB memory system: concurrent DMA on the 66 MB/s data memory
 /// and the 10 MB/s VME ceiling (§5.2).
-pub fn e13_cab_memory() -> Table {
+pub fn e13_cab_memory(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E13",
         "CAB data-memory and VME bandwidth (§5.2)",
@@ -127,7 +128,7 @@ pub fn e13_cab_memory() -> Table {
 
 /// E18 — the CAB keeps up with 100 Mbit/s in both directions at once
 /// (§5.1 requirement 1).
-pub fn e18_full_duplex() -> Table {
+pub fn e18_full_duplex(_ctx: &ExpCtx) -> Table {
     let mut t =
         Table::new("E18", "CAB full-duplex fiber rate (§5.1)", &["direction", "paper", "measured"]);
     let mut sys = NectarSystem::single_hub(2, SystemConfig::default());
@@ -177,14 +178,14 @@ mod tests {
 
     #[test]
     fn e04_single_stream_near_line_rate() {
-        let t = e04_aggregate_bandwidth();
+        let t = e04_aggregate_bandwidth(&ExpCtx::off());
         let v: f64 = t.rows[0][2].trim_end_matches(" Mbit/s").parse().unwrap();
         assert!(v > 80.0 && v <= 100.0, "{v}");
     }
 
     #[test]
     fn e11_pipeline_beats_store_and_forward() {
-        let t = e11_packet_pipeline();
+        let t = e11_packet_pipeline(&ExpCtx::off());
         let parse_ms = |s: &str| -> f64 { s.trim_end_matches(" ms").parse().unwrap() };
         let optimal = parse_ms(&t.rows[5][1]);
         let sf = parse_ms(&t.rows[6][1]);
@@ -193,7 +194,7 @@ mod tests {
 
     #[test]
     fn e13_memory_supports_concurrency() {
-        let t = e13_cab_memory();
+        let t = e13_cab_memory(&ExpCtx::off());
         let agg: f64 = t.rows[2][2].trim_end_matches(" MB/s").parse().unwrap();
         assert!(agg < 66.0, "aggregate {agg} must fit the data memory");
         assert!(agg > 40.0, "all four channels run at media rate: {agg}");
@@ -201,7 +202,7 @@ mod tests {
 
     #[test]
     fn e18_both_directions_fast() {
-        let t = e18_full_duplex();
+        let t = e18_full_duplex(&ExpCtx::off());
         let v: f64 = t.rows[0][2].trim_end_matches(" Mbit/s per direction").parse().unwrap();
         assert!(v > 70.0, "per-direction rate {v}");
     }

@@ -1,13 +1,14 @@
 //! Transport-protocol experiments: E10 (protocol comparison, loss
 //! recovery, window sweep).
 
+use crate::experiments::ExpCtx;
 use crate::table::{mbit, us, Table};
 use nectar_core::prelude::*;
 use nectar_proto::transport::bytestream::ByteStreamConfig;
 use nectar_sim::time::{Dur, Time};
 
 /// E10a — the three transports side by side (§6.2.2).
-pub fn e10_transports() -> Table {
+pub fn e10_transports(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E10",
         "transport protocols (§6.2.2)",
@@ -46,7 +47,7 @@ pub fn e10_transports() -> Table {
 
 /// E10b — loss recovery: delivered integrity and retransmission counts
 /// across loss rates.
-pub fn e10_loss_recovery() -> Table {
+pub fn e10_loss_recovery(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E10b",
         "byte-stream loss recovery",
@@ -86,7 +87,7 @@ pub fn e10_loss_recovery() -> Table {
 }
 
 /// E10c — sliding-window sweep: throughput vs window size.
-pub fn e10_window_sweep() -> Table {
+pub fn e10_window_sweep(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E10c",
         "sliding-window flow control sweep",
@@ -108,7 +109,7 @@ pub fn e10_window_sweep() -> Table {
 }
 
 /// E10d — request-response under loss: at-most-once semantics hold.
-pub fn e10_rpc_loss() -> Table {
+pub fn e10_rpc_loss(_ctx: &ExpCtx) -> Table {
     let mut t = Table::new(
         "E10d",
         "request-response under loss (at-most-once)",
@@ -174,7 +175,7 @@ mod tests {
 
     #[test]
     fn e10_datagram_is_fastest() {
-        let t = e10_transports();
+        let t = e10_transports(&ExpCtx::off());
         let dg: f64 =
             t.rows[0][2].trim_end_matches(" one-way").trim_end_matches(" us").parse().unwrap();
         let bs: f64 =
@@ -184,7 +185,7 @@ mod tests {
 
     #[test]
     fn e10b_always_intact() {
-        let t = e10_loss_recovery();
+        let t = e10_loss_recovery(&ExpCtx::off());
         for row in &t.rows {
             assert_eq!(row[1], "yes", "corrupted delivery at {row:?}");
         }
@@ -197,7 +198,7 @@ mod tests {
 
     #[test]
     fn e10c_window_one_is_slowest() {
-        let t = e10_window_sweep();
+        let t = e10_window_sweep(&ExpCtx::off());
         let rates: Vec<f64> =
             t.rows.iter().map(|r| r[1].trim_end_matches(" Mbit/s").parse().unwrap()).collect();
         assert!(rates[0] < rates[2], "window 1 must trail window 4: {rates:?}");
@@ -205,7 +206,7 @@ mod tests {
 
     #[test]
     fn e10d_answers_most_calls_under_loss() {
-        let t = e10_rpc_loss();
+        let t = e10_rpc_loss(&ExpCtx::off());
         let clean: usize = t.rows[0][2].parse().unwrap();
         assert_eq!(clean, 20, "no loss -> all answered");
     }

@@ -23,6 +23,12 @@ pub struct Table {
     /// purely analytic experiments). Feeds the harness's events/sec
     /// accounting in `BENCH_sim.json`.
     pub events: u64,
+    /// Flight-recorder events captured while the experiment ran.
+    /// Populated only when the harness requested a trace.
+    pub trace: Vec<nectar_sim::telemetry::TelemetryEvent>,
+    /// Metrics harvested from the experiment's worlds. Populated only
+    /// when the harness requested metrics.
+    pub metrics: Option<nectar_sim::metrics::MetricsRegistry>,
 }
 
 impl Table {
@@ -35,6 +41,8 @@ impl Table {
             rows: Vec::new(),
             notes: Vec::new(),
             events: 0,
+            trace: Vec::new(),
+            metrics: None,
         }
     }
 

@@ -42,6 +42,11 @@ impl Channel {
             Channel::VmeOut => 3,
         }
     }
+
+    /// The channel number (0–3), for telemetry and display.
+    pub const fn number(self) -> u8 {
+        self.index() as u8
+    }
 }
 
 impl fmt::Display for Channel {
@@ -207,6 +212,13 @@ impl DmaController {
     pub fn bytes_moved(&self) -> u64 {
         self.bytes_moved
     }
+
+    /// Registers the controller's counters into `reg` under `prefix`
+    /// (e.g. `cab0.dma.`).
+    pub fn register_into(&self, reg: &mut nectar_sim::metrics::MetricsRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}transfers"), self.transfers_started);
+        reg.counter_add(&format!("{prefix}bytes_moved"), self.bytes_moved);
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +336,9 @@ mod tests {
         d.start(Time::ZERO, Channel::VmeIn, 200);
         assert_eq!(d.transfers_started(), 2);
         assert_eq!(d.bytes_moved(), 300);
+        let mut reg = nectar_sim::metrics::MetricsRegistry::new();
+        d.register_into(&mut reg, "cab0.dma.");
+        assert_eq!(reg.counter("cab0.dma.transfers"), 2);
+        assert_eq!(reg.counter("cab0.dma.bytes_moved"), 300);
     }
 }

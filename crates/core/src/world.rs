@@ -27,6 +27,8 @@ use nectar_proto::transport::datagram::Datagram;
 use nectar_proto::transport::reqresp::{ReqRespClient, ReqRespConfig, ReqRespServer};
 use nectar_proto::transport::{Action, TimerToken, TransportError};
 use nectar_sim::engine::{Engine, EventId};
+use nectar_sim::metrics::{Histogram, MetricsRegistry};
+use nectar_sim::telemetry::{EventKind, FlightId, Telemetry, TelemetryEvent};
 use nectar_sim::time::{Dur, Time};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -153,6 +155,8 @@ pub enum Ev {
         /// in-flight packet — no copy on receive, and the buffer is
         /// reclaimed into the world's [`BufPool`] after processing.
         payload: Arc<Vec<u8>>,
+        /// The packet's flight id (for the flight recorder).
+        flight: u64,
     },
     /// A protocol timer expires on a CAB.
     CabTimer {
@@ -263,6 +267,8 @@ pub struct CabCounters {
     pub mailbox_rejects: u64,
     /// Datalink ready-timeouts (lost-command recoveries).
     pub ready_timeouts: u64,
+    /// Fletcher-16 checksum passes (one per packet encode or decode).
+    pub checksum_ops: u64,
 }
 
 struct CabState {
@@ -315,6 +321,18 @@ pub struct World {
     /// Scratch for [`run_until`](World::run_until)'s batched drain;
     /// kept across calls so the steady state never allocates.
     batch: Vec<Ev>,
+    /// World-level flight recorder: transport, DMA, app, and datalink
+    /// events. Per-HUB and per-scheduler rings are separate; see
+    /// [`telemetry_events`](World::telemetry_events) for the merge.
+    telemetry: Telemetry,
+    /// Master switch for flight tracking (latency accounting and the
+    /// per-component telemetry rings). Off by default: the hot path
+    /// pays one branch.
+    observability: bool,
+    /// Flight id -> time the packet was handed to the datalink.
+    flight_births: HashMap<u64, Time>,
+    /// Send-to-delivery latency per flight, nanoseconds.
+    flight_latency: Histogram,
 }
 
 struct FaultInjector {
@@ -377,7 +395,96 @@ impl World {
             faults_injected: 0,
             pool: BufPool::default(),
             batch: Vec::new(),
+            telemetry: Telemetry::default(),
+            observability: false,
+            flight_births: HashMap::new(),
+            flight_latency: Histogram::new(),
         }
+    }
+
+    /// Switches on the flight recorder: typed telemetry in every HUB,
+    /// every CAB kernel scheduler, and the world itself, plus
+    /// send-to-delivery flight latency accounting. The default-off
+    /// state costs the hot path one predictable branch per event.
+    pub fn enable_observability(&mut self) {
+        self.observability = true;
+        self.telemetry.set_enabled(true);
+        for hub in &mut self.hubs {
+            hub.telemetry_mut().set_enabled(true);
+        }
+        for (i, cs) in self.cabs.iter_mut().enumerate() {
+            cs.sched.telemetry_mut().set_enabled(true);
+            cs.sched.telemetry_mut().set_subject(i as u16);
+        }
+    }
+
+    /// `true` once [`enable_observability`](World::enable_observability)
+    /// has been called.
+    pub fn observability_enabled(&self) -> bool {
+        self.observability
+    }
+
+    /// Every recorded telemetry event — the world's transport/DMA/app
+    /// events merged with each HUB's crossbar events and each kernel
+    /// scheduler's thread switches — sorted by timestamp.
+    pub fn telemetry_events(&self) -> Vec<TelemetryEvent> {
+        let mut all: Vec<TelemetryEvent> = self.telemetry.events().copied().collect();
+        for hub in &self.hubs {
+            all.extend(hub.telemetry().events().copied());
+        }
+        for cs in &self.cabs {
+            all.extend(cs.sched.telemetry().events().copied());
+        }
+        all.sort_by_key(|e| e.at);
+        all
+    }
+
+    /// Harvests every counter in the system into one registry: HUB
+    /// crossbar counters, CAB datalink counters, DMA accounting, kernel
+    /// scheduler statistics, mailbox high-water marks, fiber
+    /// utilization, buffer-pool hit rates, and (when observability is
+    /// on) the flight-latency histogram.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for (h, hub) in self.hubs.iter().enumerate() {
+            hub.counters().register_into(&mut reg, &format!("hub{h}."));
+        }
+        for (c, cs) in self.cabs.iter().enumerate() {
+            let k = cs.counters;
+            let fields: [(&str, u64); 9] = [
+                ("packets_tx", k.packets_tx),
+                ("packets_rx", k.packets_rx),
+                ("corrupted_rx", k.corrupted_rx),
+                ("overruns", k.overruns),
+                ("strays", k.strays),
+                ("circuit_opens", k.circuit_opens),
+                ("mailbox_rejects", k.mailbox_rejects),
+                ("ready_timeouts", k.ready_timeouts),
+                ("checksum_ops", k.checksum_ops),
+            ];
+            for (name, v) in fields {
+                reg.counter_add(&format!("cab{c}.{name}"), v);
+            }
+            cs.hw.dma.register_into(&mut reg, &format!("cab{c}.dma."));
+            reg.counter_add(&format!("cab{c}.kernel.thread_switches"), cs.sched.switches());
+            reg.counter_add(&format!("cab{c}.kernel.interrupts"), cs.sched.interrupts());
+            let (peak_bytes, peak_depth) = cs
+                .mailboxes
+                .values()
+                .fold((0usize, 0usize), |(b, d), mb| (b.max(mb.peak_used()), d.max(mb.peak_len())));
+            reg.gauge_max(&format!("cab{c}.mailbox.peak_bytes"), peak_bytes as f64);
+            reg.gauge_max(&format!("cab{c}.mailbox.peak_depth"), peak_depth as f64);
+            reg.gauge_max(&format!("cab{c}.fiber.utilization"), self.fiber_utilization(c));
+        }
+        let pool = self.pool.stats();
+        reg.counter_add("pool.hits", pool.hits);
+        reg.counter_add("pool.misses", pool.misses);
+        reg.counter_add("pool.reclaims", pool.reclaims);
+        reg.counter_add("pool.dropped", pool.dropped);
+        if !self.flight_latency.is_empty() {
+            reg.merge_histogram("latency.flight_ns", &self.flight_latency);
+        }
+        reg
     }
 
     /// Arms fault injection: arriving packets are dropped with
@@ -662,7 +769,7 @@ impl World {
             data,
             &mut actions,
         );
-        self.exec_actions(cab, now, None, true, actions);
+        self.exec_actions(cab, now, None, true, FlightId::NONE, actions);
         ok
     }
 
@@ -718,10 +825,26 @@ impl World {
                     cs.fiber_ready = true;
                     cs.ready_gen += 1;
                     cs.counters.ready_timeouts += 1;
+                    self.telemetry.record(
+                        now,
+                        FlightId::NONE,
+                        EventKind::DatalinkRetry { cab: cab as u16 },
+                    );
                     self.try_flush(cab, now);
                 }
             }
-            Ev::CabPacketReady { cab, payload } => self.cab_packet_ready(now, cab, payload),
+            Ev::CabPacketReady { cab, payload, flight } => {
+                self.telemetry.record(
+                    now,
+                    FlightId(flight),
+                    EventKind::DmaComplete {
+                        cab: cab as u16,
+                        channel: Channel::FiberIn.number(),
+                        bytes: payload.len() as u32,
+                    },
+                );
+                self.cab_packet_ready(now, cab, payload, FlightId(flight));
+            }
             Ev::CabTimer { cab, source, token } => {
                 // The timer table is the source of truth: a timer
                 // cancelled by an earlier event in the same batch has
@@ -733,6 +856,11 @@ impl World {
                 }
                 let t = self.cfg.cab.timer_op;
                 let (_, done) = self.cabs[cab].sched.run_interrupt(now, t);
+                self.telemetry.record(
+                    now,
+                    FlightId::NONE,
+                    EventKind::TransportTimeout { cab: cab as u16 },
+                );
                 let mut actions = Vec::new();
                 match source {
                     TimerSource::Stream(peer) => {
@@ -744,7 +872,7 @@ impl World {
                         self.cabs[cab].rpc_client.on_timer(done, token, &mut actions)
                     }
                 }
-                self.exec_actions(cab, done, Some(source), false, actions);
+                self.exec_actions(cab, done, Some(source), false, FlightId::NONE, actions);
             }
             Ev::AppSend { cab, send } => match send {
                 AppSend::Stream { dst, src_mailbox, dst_mailbox, data } => {
@@ -790,7 +918,12 @@ impl World {
             .entry(dst)
             .or_insert_with(|| ByteStream::new(cab_id, CabId::new(dst as u16), stream_cfg))
             .send_message(now, src_mailbox, dst_mailbox, data, &mut actions);
-        self.exec_actions(src, now, Some(TimerSource::Stream(dst)), true, actions);
+        self.telemetry.record(
+            now,
+            FlightId::NONE,
+            EventKind::AppSend { cab: src as u16, dst: dst as u16, bytes: data.len() as u32 },
+        );
+        self.exec_actions(src, now, Some(TimerSource::Stream(dst)), true, FlightId::NONE, actions);
         msg_id
     }
 
@@ -816,7 +949,12 @@ impl World {
             data,
             &mut actions,
         );
-        self.exec_actions(src, now, None, true, actions);
+        self.telemetry.record(
+            now,
+            FlightId::NONE,
+            EventKind::AppSend { cab: src as u16, dst: dst as u16, bytes: data.len() as u32 },
+        );
+        self.exec_actions(src, now, None, true, FlightId::NONE, actions);
         msg_id
     }
 
@@ -842,7 +980,12 @@ impl World {
             data,
             &mut actions,
         );
-        self.exec_actions(src, now, Some(TimerSource::Rpc), true, actions);
+        self.telemetry.record(
+            now,
+            FlightId::NONE,
+            EventKind::AppSend { cab: src as u16, dst: dst as u16, bytes: data.len() as u32 },
+        );
+        self.exec_actions(src, now, Some(TimerSource::Rpc), true, FlightId::NONE, actions);
         tx
     }
 
@@ -875,8 +1018,27 @@ impl World {
         let t = self.cfg.cab.send_path();
         let app = self.cabs[src].app_thread;
         self.cabs[src].sched.assume_running(app);
+        self.cabs[src].counters.checksum_ops += 1;
         let (_, done) = self.cabs[src].sched.run(now, app, t);
+        self.telemetry.record(
+            now,
+            FlightId::NONE,
+            EventKind::AppSend { cab: src as u16, dst: dsts[0] as u16, bytes: data.len() as u32 },
+        );
         let packet = self.next_packet(src, wire);
+        if self.observability {
+            self.flight_births.insert(packet.id(), done);
+            self.telemetry.record(
+                done,
+                FlightId(packet.id()),
+                EventKind::TransportSend {
+                    cab: src as u16,
+                    peer: dsts[0] as u16,
+                    seq: header.msg_id,
+                    retransmit: false,
+                },
+            );
+        }
         let items = mc.packet_switched_items(packet, self.cfg.hub.queue_capacity);
         self.cabs[src].counters.packets_tx += 1;
         self.enqueue_burst(src, items, done);
@@ -895,18 +1057,22 @@ impl World {
     /// Executes transport actions for `cab`. `app_context` selects the
     /// CPU charging: `true` for procedure-call sends from the
     /// application thread, `false` for interrupt-context activity
-    /// (acks, retransmissions, timer handlers).
+    /// (acks, retransmissions, timer handlers). `flight` is the flight
+    /// id of the packet whose processing produced these actions (or
+    /// [`FlightId::NONE`]); deliveries inherit it for latency
+    /// accounting.
     fn exec_actions(
         &mut self,
         cab: usize,
         now: Time,
         source: Option<TimerSource>,
         app_context: bool,
+        flight: FlightId,
         actions: Vec<Action>,
     ) {
         for action in actions {
             match action {
-                Action::Send { header, payload } => {
+                Action::Send { header, payload, retransmit } => {
                     let cost_send = self.cfg.cab.send_path();
                     let cost_int = self.cfg.cab.datalink_packet + self.cfg.cab.dma_setup;
                     let cs = &mut self.cabs[cab];
@@ -916,10 +1082,11 @@ impl World {
                     } else {
                         cs.sched.run_interrupt(now, cost_int).1
                     };
+                    cs.counters.checksum_ops += 1;
                     let mut wire = self.pool.acquire();
                     header.encode_into(&payload, &mut wire);
                     let dst = header.dst_cab.index();
-                    self.cab_send_packet(cab, dst, wire, done);
+                    self.cab_send_packet(cab, dst, wire, done, header.seq, retransmit);
                 }
                 Action::Deliver { mailbox, msg } => {
                     let mailbox_cap = self.cfg.mailbox_capacity;
@@ -935,6 +1102,16 @@ impl World {
                     if slot.append(msg).is_err() {
                         cs.counters.mailbox_rejects += 1;
                         continue;
+                    }
+                    self.telemetry.record(
+                        end,
+                        flight,
+                        EventKind::AppRecv { cab: cab as u16, mailbox, bytes: len as u32 },
+                    );
+                    if self.observability {
+                        if let Some(birth) = self.flight_births.remove(&flight.0) {
+                            self.flight_latency.observe(end.saturating_since(birth).nanos());
+                        }
                     }
                     self.deliveries.push(Delivery { cab, mailbox, msg_id: id, len, at: end });
                 }
@@ -962,8 +1139,27 @@ impl World {
     // Datalink: CAB -> fiber
     // ---------------------------------------------------------------
 
-    fn cab_send_packet(&mut self, cab: usize, dst: usize, wire: Vec<u8>, ready: Time) {
+    fn cab_send_packet(
+        &mut self,
+        cab: usize,
+        dst: usize,
+        wire: Vec<u8>,
+        ready: Time,
+        seq: u32,
+        retransmit: bool,
+    ) {
         let packet = self.next_packet(cab, wire);
+        // The flight id is born here, where the CAB hands the packet to
+        // its datalink; the recorder traces it through every HUB hop to
+        // the receiving application.
+        if self.observability {
+            self.flight_births.insert(packet.id(), ready);
+            self.telemetry.record(
+                ready,
+                FlightId(packet.id()),
+                EventKind::TransportSend { cab: cab as u16, peer: dst as u16, seq, retransmit },
+            );
+        }
         let queue_cap = self.cfg.hub.queue_capacity;
         let items: Vec<Item> = match self.cfg.switching {
             SwitchingMode::PacketSwitched => {
@@ -1142,6 +1338,16 @@ impl World {
                 // the destination (whichever is later).
                 let xfer = cs.hw.dma.start(now, Channel::FiberIn, p.len());
                 let done = xfer.complete.max(now + wire_dur).max(handler_done);
+                let flight = p.id();
+                self.telemetry.record(
+                    xfer.start,
+                    FlightId(flight),
+                    EventKind::DmaStart {
+                        cab: cab as u16,
+                        channel: Channel::FiberIn.number(),
+                        bytes: xfer.bytes as u32,
+                    },
+                );
                 // Zero-copy receive: share the in-flight buffer instead
                 // of copying it into CAB memory. (The real DMA copies;
                 // the model only charges its time.)
@@ -1149,7 +1355,7 @@ impl World {
                 // The packet emerges from the CAB input queue when the
                 // DMA starts draining it: restore the HUB's ready bit.
                 self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
-                self.engine.schedule_at(done, Ev::CabPacketReady { cab, payload });
+                self.engine.schedule_at(done, Ev::CabPacketReady { cab, payload, flight });
             }
             Item::Reply(reply) => {
                 // Circuit-open acks and status replies: the datalink
@@ -1166,8 +1372,9 @@ impl World {
         }
     }
 
-    fn cab_packet_ready(&mut self, now: Time, cab: usize, payload: Arc<Vec<u8>>) {
+    fn cab_packet_ready(&mut self, now: Time, cab: usize, payload: Arc<Vec<u8>>, flight: FlightId) {
         use nectar_proto::header::PacketKind;
+        self.cabs[cab].counters.checksum_ops += 1;
         let decoded = Header::decode(&payload);
         let Ok((header, body)) = decoded else {
             self.cabs[cab].counters.corrupted_rx += 1;
@@ -1175,6 +1382,13 @@ impl World {
             return;
         };
         let peer = header.src_cab.index();
+        if header.kind == PacketKind::Ack {
+            self.telemetry.record(
+                now,
+                flight,
+                EventKind::TransportAck { cab: cab as u16, peer: peer as u16, ack: header.ack },
+            );
+        }
         let mut actions = Vec::new();
         let source = match header.kind {
             PacketKind::Datagram => {
@@ -1200,7 +1414,7 @@ impl World {
                 Some(TimerSource::Rpc)
             }
         };
-        self.exec_actions(cab, now, source, false, actions);
+        self.exec_actions(cab, now, source, false, flight, actions);
         // The packet has been consumed; if this was the last reference
         // (unicast steady state), the buffer goes back to the pool for
         // the next send to encode into.

@@ -1,6 +1,8 @@
 //! HUB event counters, readable with the `read counters` supervisor
 //! command and by the experiment harness.
 
+use nectar_sim::metrics::MetricsRegistry;
+
 /// Cumulative event counts for one HUB since power-on (or the last
 /// `clear counters` supervisor command).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,6 +48,29 @@ impl HubCounters {
     pub fn total_losses(&self) -> u64 {
         self.overflows + self.drops + self.replies_dropped + self.opens_failed
     }
+
+    /// Registers every counter into `reg` under `prefix` (e.g.
+    /// `hub0.`), so the harness reports from one registry instead of
+    /// per-crate structs.
+    pub fn register_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let fields: [(&str, u64); 12] = [
+            ("commands_executed", self.commands_executed),
+            ("opens_succeeded", self.opens_succeeded),
+            ("opens_failed", self.opens_failed),
+            ("opens_retried", self.opens_retried),
+            ("locks_acquired", self.locks_acquired),
+            ("packets_forwarded", self.packets_forwarded),
+            ("bytes_forwarded", self.bytes_forwarded),
+            ("replies_forwarded", self.replies_forwarded),
+            ("replies_dropped", self.replies_dropped),
+            ("overflows", self.overflows),
+            ("drops", self.drops),
+            ("resets", self.resets),
+        ];
+        for (name, v) in fields {
+            reg.counter_add(&format!("{prefix}{name}"), v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +87,17 @@ mod tests {
         assert_eq!(c.total_losses(), 6);
         c.clear();
         assert_eq!(c, HubCounters::default());
+    }
+
+    #[test]
+    fn registers_all_fields() {
+        let mut c = HubCounters::new();
+        c.packets_forwarded = 9;
+        c.bytes_forwarded = 900;
+        let mut reg = MetricsRegistry::new();
+        c.register_into(&mut reg, "hub0.");
+        assert_eq!(reg.counter("hub0.packets_forwarded"), 9);
+        assert_eq!(reg.counter("hub0.bytes_forwarded"), 900);
+        assert_eq!(reg.counters().count(), 12);
     }
 }

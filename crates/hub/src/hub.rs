@@ -35,6 +35,7 @@ use crate::effects::{Effects, InternalEv};
 use crate::id::{HubId, PortId};
 use crate::item::Item;
 use crate::status::PortStatus;
+use nectar_sim::telemetry::{EventKind, FlightId, Telemetry};
 use nectar_sim::time::Time;
 use nectar_sim::trace::{Category, Trace};
 use std::collections::VecDeque;
@@ -137,6 +138,7 @@ pub struct Hub {
     retries: Vec<PendingRetry>,
     counters: HubCounters,
     trace: Trace,
+    telemetry: Telemetry,
     next_seq: u64,
 }
 
@@ -153,6 +155,7 @@ impl Hub {
             retries: Vec::new(),
             counters: HubCounters::new(),
             trace: Trace::disabled(),
+            telemetry: Telemetry::default(),
             next_seq: 0,
         }
     }
@@ -180,6 +183,16 @@ impl Hub {
     /// Mutable access to the trace, e.g. to enable it.
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    /// The typed flight-recorder events (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the flight recorder, e.g. to enable it.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// The status-table entry for `port`.
@@ -256,7 +269,7 @@ impl Hub {
             let deadline = now + self.cfg.wire_time(free);
             fx.defer(deadline, InternalEv::OverflowCheck { port, seq });
         }
-        self.trace.record(now, Category::Port, format!("{} {port} <- {item}", self.id));
+        self.trace.record_with(now, Category::Port, || format!("{} {port} <- {item}", self.id));
         let p = &mut self.ports[port.index()];
         p.queued_bytes += charged;
         p.queue.push_back(Queued { seq, item, head_at: now, charged });
@@ -272,7 +285,7 @@ impl Hub {
             return;
         }
         self.ports[port.index()].ready = true;
-        self.trace.record(now, Category::Port, format!("{} {port} ready", self.id));
+        self.trace.record_with(now, Category::Port, || format!("{} {port} ready", self.id));
         self.wake_retries_for(now, port, fx);
     }
 
@@ -296,11 +309,9 @@ impl Hub {
                     p.queued_bytes -= dropped.charged;
                     p.head = HeadState::Idle;
                     self.counters.drops += 1;
-                    self.trace.record(
-                        now,
-                        Category::Port,
-                        format!("{} {port} stuck item discarded: {}", self.id, dropped.item),
-                    );
+                    self.trace.record_with(now, Category::Port, || {
+                        format!("{} {port} stuck item discarded: {}", self.id, dropped.item)
+                    });
                     self.start_head(now, port, fx);
                 }
             }
@@ -308,11 +319,10 @@ impl Hub {
                 for out in outputs {
                     if self.xbar.input_for(out) == Some(input) {
                         self.xbar.disconnect_output(out);
-                        self.trace.record(
-                            now,
-                            Category::Crossbar,
-                            format!("{} close-behind {input}->{out}", self.id),
-                        );
+                        self.trace.record_with(now, Category::Crossbar, || {
+                            format!("{} close-behind {input}->{out}", self.id)
+                        });
+                        self.record_close(now, input, out);
                         self.wake_retries_for(now, out, fx);
                     }
                 }
@@ -382,11 +392,25 @@ impl Hub {
             // Tell the upstream peer this queue's start-of-packet emerged.
             fx.ready(emit_at, port);
         }
-        self.trace.record(
-            emit_at,
-            Category::Crossbar,
-            format!("{} fwd {port}->{outs:?} {}", self.id, front.item),
-        );
+        let flight = match &front.item {
+            Item::Packet(p) => FlightId(p.id()),
+            _ => FlightId::NONE,
+        };
+        for &out in &outs {
+            self.telemetry.record(
+                emit_at,
+                flight,
+                EventKind::CrossbarForward {
+                    hub: self.id.raw(),
+                    input: port.index() as u8,
+                    output: out.index() as u8,
+                    bytes: size as u32,
+                },
+            );
+        }
+        self.trace.record_with(emit_at, Category::Crossbar, || {
+            format!("{} fwd {port}->{outs:?} {}", self.id, front.item)
+        });
         if front.item == Item::CloseAll {
             fx.defer(emit_at + wire, InternalEv::CloseBehind { input: port, outputs: outs });
         }
@@ -418,11 +442,9 @@ impl Hub {
         let removed = p.queue.remove(idx).expect("index in range");
         p.queued_bytes -= removed.charged;
         self.counters.overflows += 1;
-        self.trace.record(
-            now,
-            Category::Port,
-            format!("{} {port} overflow: {}", self.id, removed.item),
-        );
+        self.trace.record_with(now, Category::Port, || {
+            format!("{} {port} overflow: {}", self.id, removed.item)
+        });
         if idx == 0 {
             // The blocked head was the victim; drop any retry it holds.
             self.retries.retain(|r| !(r.port == port && r.seq == seq));
@@ -445,11 +467,9 @@ impl Hub {
             _ => return,
         };
         self.counters.commands_executed += 1;
-        self.trace.record(
-            now,
-            Category::Controller,
-            format!("{} exec [{cmd}] from {port}", self.id),
-        );
+        self.trace.record_with(now, Category::Controller, || {
+            format!("{} exec [{cmd}] from {port}", self.id)
+        });
         match cmd.op {
             Op::User(user) => self.exec_user(now, port, expected, cmd, user, fx),
             Op::Supervisor(sup) => {
@@ -474,10 +494,17 @@ impl Hub {
                 let ok = self.try_open(port, target, test);
                 if ok {
                     self.counters.opens_succeeded += 1;
-                    self.trace.record(
+                    self.trace.record_with(now, Category::Crossbar, || {
+                        format!("{} open {port}->{target}", self.id)
+                    });
+                    self.telemetry.record(
                         now,
-                        Category::Crossbar,
-                        format!("{} open {port}->{target}", self.id),
+                        FlightId::NONE,
+                        EventKind::ConnectionOpen {
+                            hub: self.id.raw(),
+                            input: port.index() as u8,
+                            output: target.index() as u8,
+                        },
                     );
                     if reply {
                         self.emit_reply(now, port, Reply::Ack { hub: self.id, port: target }, fx);
@@ -496,13 +523,15 @@ impl Hub {
                 }
             }
             UserOp::Close => {
-                if self.xbar.disconnect_output(target).is_some() {
+                if let Some(input) = self.xbar.disconnect_output(target) {
+                    self.record_close(now, input, target);
                     self.wake_retries_for(now, target, fx);
                 }
                 self.head_done_now(now, port, fx);
             }
             UserOp::CloseInput => {
                 for out in self.xbar.disconnect_input(target) {
+                    self.record_close(now, target, out);
                     self.wake_retries_for(now, out, fx);
                 }
                 self.head_done_now(now, port, fx);
@@ -555,6 +584,19 @@ impl Hub {
             }
             UserOp::Nop => self.head_done_now(now, port, fx),
         }
+    }
+
+    /// Records a circuit teardown in the flight recorder.
+    fn record_close(&mut self, now: Time, input: PortId, output: PortId) {
+        self.telemetry.record(
+            now,
+            FlightId::NONE,
+            EventKind::ConnectionClose {
+                hub: self.id.raw(),
+                input: input.index() as u8,
+                output: output.index() as u8,
+            },
+        );
     }
 
     fn try_open(&mut self, input: PortId, output: PortId, test: bool) -> bool {
@@ -684,11 +726,9 @@ impl Hub {
             }
             None => {
                 self.counters.replies_dropped += 1;
-                self.trace.record(
-                    now,
-                    Category::Port,
-                    format!("{} {port} reply dropped (no reverse path)", self.id),
-                );
+                self.trace.record_with(now, Category::Port, || {
+                    format!("{} {port} reply dropped (no reverse path)", self.id)
+                });
             }
         }
     }

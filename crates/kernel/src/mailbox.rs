@@ -100,6 +100,8 @@ pub struct Mailbox {
     appended: u64,
     taken: u64,
     rejected: u64,
+    peak_used: usize,
+    peak_len: usize,
 }
 
 impl Mailbox {
@@ -119,6 +121,8 @@ impl Mailbox {
             appended: 0,
             taken: 0,
             rejected: 0,
+            peak_used: 0,
+            peak_len: 0,
         }
     }
 
@@ -168,6 +172,8 @@ impl Mailbox {
         self.used += needed;
         self.appended += 1;
         self.messages.push_back(msg);
+        self.peak_used = self.peak_used.max(self.used);
+        self.peak_len = self.peak_len.max(self.messages.len());
         Ok(())
     }
 
@@ -211,6 +217,16 @@ impl Mailbox {
     /// Lifetime counters: `(appended, taken, rejected)`.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.appended, self.taken, self.rejected)
+    }
+
+    /// High-water mark of buffered payload bytes.
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// High-water mark of buffered message count.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -288,6 +304,18 @@ mod tests {
         mb.take_next().unwrap();
         assert_eq!(mb.used(), 0);
         assert_eq!(mb.stats(), (2, 2, 0));
+    }
+
+    #[test]
+    fn high_water_marks_survive_draining() {
+        let mut mb = Mailbox::new("m", 1000);
+        mb.append(msg(1, 0, 100)).unwrap();
+        mb.append(msg(2, 0, 250)).unwrap();
+        mb.take_next().unwrap();
+        mb.take_next().unwrap();
+        mb.append(msg(3, 0, 10)).unwrap();
+        assert_eq!(mb.peak_used(), 350);
+        assert_eq!(mb.peak_len(), 2);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use core::fmt;
 use nectar_cab::timings::CabTimings;
+use nectar_sim::telemetry::{EventKind, FlightId, Telemetry};
 use nectar_sim::time::{Dur, Time};
 
 /// Handle to one kernel thread.
@@ -66,6 +67,7 @@ pub struct Scheduler {
     cpu_free: Time,
     switches: u64,
     interrupts: u64,
+    telemetry: Telemetry,
 }
 
 impl Scheduler {
@@ -78,7 +80,19 @@ impl Scheduler {
             cpu_free: Time::ZERO,
             switches: 0,
             interrupts: 0,
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// The flight recorder (disabled by default). Its *subject* should
+    /// be set to the owning CAB's number so switch events name it.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the flight recorder, e.g. to enable it.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// The timing model in force.
@@ -141,9 +155,15 @@ impl Scheduler {
         assert!(tid.index() < self.threads.len(), "unknown thread {tid}");
         let mut start = now.max(self.cpu_free);
         if self.current != Some(tid) {
-            if self.current.is_some() {
+            if let Some(prev) = self.current {
                 start += self.timings.thread_switch;
                 self.switches += 1;
+                let cab = self.telemetry.subject();
+                self.telemetry.record(
+                    start,
+                    FlightId::NONE,
+                    EventKind::ThreadSwitch { cab, from: prev.0, to: tid.0 },
+                );
             }
             self.current = Some(tid);
         }
@@ -259,6 +279,26 @@ mod tests {
         assert_eq!(s.cpu_used(a), Dur::from_micros(8));
         assert_eq!(s.cpu_used(b), Dur::from_micros(3));
         assert_eq!(s.switches(), 2);
+    }
+
+    #[test]
+    fn switches_reach_the_flight_recorder() {
+        let mut s = sched();
+        s.telemetry_mut().set_enabled(true);
+        s.telemetry_mut().set_subject(3);
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        let (_, e) = s.run(Time::ZERO, a, Dur::from_micros(1));
+        s.run(e, b, Dur::from_micros(1));
+        let evs: Vec<_> = s.telemetry().events().collect();
+        assert_eq!(evs.len(), 1);
+        match evs[0].kind {
+            EventKind::ThreadSwitch { cab, from, to } => {
+                assert_eq!(cab, 3);
+                assert_eq!((from, to), (0, 1));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -193,7 +193,11 @@ impl ByteStream {
         let was_idle = self.inflight.is_empty();
         while self.inflight.len() < self.effective_window() {
             let Some(pkt) = self.backlog.pop_front() else { break };
-            out.push(Action::Send { header: pkt.header, payload: pkt.payload.clone() });
+            out.push(Action::Send {
+                header: pkt.header,
+                payload: pkt.payload.clone(),
+                retransmit: false,
+            });
             self.stats.data_sent += 1;
             self.inflight.push_back(pkt);
         }
@@ -235,7 +239,7 @@ impl ByteStream {
             ..Header::new(PacketKind::Ack, self.local, self.peer)
         };
         self.stats.acks_sent += 1;
-        out.push(Action::Send { header, payload: Arc::from(Vec::new()) });
+        out.push(Action::Send { header, payload: Arc::from(Vec::new()), retransmit: false });
     }
 
     fn on_data(&mut self, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
@@ -299,7 +303,11 @@ impl ByteStream {
         }
         // Go-back-N: resend the whole window.
         for pkt in &self.inflight {
-            out.push(Action::Send { header: pkt.header, payload: pkt.payload.clone() });
+            out.push(Action::Send {
+                header: pkt.header,
+                payload: pkt.payload.clone(),
+                retransmit: true,
+            });
             self.stats.retransmissions += 1;
         }
         if self.inflight.is_empty() {
@@ -350,7 +358,7 @@ mod tests {
             while let Some((from, actions)) = queue.pop() {
                 for action in actions {
                     match action {
-                        Action::Send { header, payload } => {
+                        Action::Send { header, payload, .. } => {
                             let idx = self.send_count;
                             self.send_count += 1;
                             if self.drop_sends.contains(&idx) {

@@ -76,7 +76,7 @@ impl Datagram {
             ..Header::new(PacketKind::Datagram, self.local, dst)
         };
         self.sent += 1;
-        out.push(Action::Send { header, payload: Arc::from(data.to_vec()) });
+        out.push(Action::Send { header, payload: Arc::from(data.to_vec()), retransmit: false });
         msg_id
     }
 

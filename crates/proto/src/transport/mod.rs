@@ -73,6 +73,11 @@ pub enum Action {
         header: Header,
         /// The packet's payload.
         payload: Arc<[u8]>,
+        /// `true` when this packet repeats an earlier transmission
+        /// (go-back-N resend, request-response retry) — kept out of the
+        /// header because the wire does not distinguish them, but the
+        /// flight recorder does.
+        retransmit: bool,
     },
     /// Deliver a complete message to a local mailbox.
     Deliver {
@@ -121,7 +126,7 @@ pub fn sends(actions: &[Action]) -> Vec<(&Header, &Arc<[u8]>)> {
     actions
         .iter()
         .filter_map(|a| match a {
-            Action::Send { header, payload } => Some((header, payload)),
+            Action::Send { header, payload, .. } => Some((header, payload)),
             _ => None,
         })
         .collect()
@@ -147,7 +152,7 @@ mod tests {
     #[test]
     fn action_predicates() {
         let h = Header::new(PacketKind::Datagram, CabId::new(0), CabId::new(1));
-        let send = Action::Send { header: h, payload: Arc::from(vec![1u8]) };
+        let send = Action::Send { header: h, payload: Arc::from(vec![1u8]), retransmit: false };
         assert!(send.is_send());
         assert!(!send.is_deliver());
         let deliver = Action::Deliver { mailbox: 3, msg: Message::new(1, 0, vec![2u8]) };
@@ -158,7 +163,7 @@ mod tests {
     fn extraction_helpers() {
         let h = Header::new(PacketKind::Datagram, CabId::new(0), CabId::new(1));
         let actions = vec![
-            Action::Send { header: h, payload: Arc::from(vec![1u8]) },
+            Action::Send { header: h, payload: Arc::from(vec![1u8]), retransmit: false },
             Action::Deliver { mailbox: 9, msg: Message::new(1, 0, vec![]) },
             Action::SetTimer { token: TimerToken(1), delay: Dur::from_micros(1) },
         ];

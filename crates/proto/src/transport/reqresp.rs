@@ -118,7 +118,7 @@ impl ReqRespClient {
         };
         let payload: Arc<[u8]> = Arc::from(request.to_vec());
         self.calls += 1;
-        out.push(Action::Send { header, payload: payload.clone() });
+        out.push(Action::Send { header, payload: payload.clone(), retransmit: false });
         out.push(Action::SetTimer { token: Self::token(tx, 1), delay: self.cfg.rto });
         self.outstanding.insert(tx, PendingCall { header, payload, attempts: 1 });
         tx
@@ -164,7 +164,11 @@ impl ReqRespClient {
         }
         pending.attempts += 1;
         self.retransmissions += 1;
-        out.push(Action::Send { header: pending.header, payload: pending.payload.clone() });
+        out.push(Action::Send {
+            header: pending.header,
+            payload: pending.payload.clone(),
+            retransmit: true,
+        });
         out.push(Action::SetTimer {
             token: Self::token(tx, pending.attempts),
             delay: self.cfg.rto,
@@ -233,7 +237,11 @@ impl ReqRespServer {
             // Lost response: replay without re-executing (at-most-once).
             self.duplicate_requests += 1;
             self.replays += 1;
-            out.push(Action::Send { header: *resp_header, payload: resp_payload.clone() });
+            out.push(Action::Send {
+                header: *resp_header,
+                payload: resp_payload.clone(),
+                retransmit: true,
+            });
             return;
         }
         if self.pending.contains_key(&key) {
@@ -277,7 +285,7 @@ impl ReqRespServer {
             let old = self.cache_order.pop_front().expect("non-empty");
             self.cache.remove(&old);
         }
-        out.push(Action::Send { header, payload });
+        out.push(Action::Send { header, payload, retransmit: false });
         true
     }
 

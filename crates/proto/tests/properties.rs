@@ -163,7 +163,7 @@ proptest! {
             prop_assert!(guard < 50_000, "protocol did not converge");
             if let Some((from, action)) = pending.pop_front() {
                 match action {
-                    Action::Send { header, payload } => {
+                    Action::Send { header, payload, .. } => {
                         let dropped = drops.get(send_idx).copied().unwrap_or(false);
                         send_idx += 1;
                         if dropped {

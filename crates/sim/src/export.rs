@@ -1,0 +1,331 @@
+//! Exporters: Chrome trace-event JSON from telemetry events.
+//!
+//! [`chrome_trace`] renders a slice of
+//! [`TelemetryEvent`](crate::telemetry::TelemetryEvent)s in the Chrome
+//! trace-event format, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`:
+//!
+//! * one *process* per HUB and per CAB, one *thread* (track) per HUB
+//!   port / controller and per CAB engine (DMA, kernel, transport, app);
+//! * paired DMA start/complete events become duration (`"X"`) slices;
+//! * every event of a flight is linked by flow arrows (`"s"`/`"t"`/`"f"`
+//!   phases keyed by the flight id), so a message can be followed
+//!   visually from `app_send` through each `crossbar_forward` to
+//!   `app_recv`.
+//!
+//! Timestamps (`ts`) are microseconds with fractional nanoseconds, per
+//! the format; `displayTimeUnit` is `"ns"`.
+
+use crate::json::json_escape;
+use crate::telemetry::{EventKind, TelemetryEvent};
+use std::collections::BTreeMap;
+
+/// Nominal duration (µs) given to point events so flow arrows have a
+/// slice to bind to.
+const POINT_DUR_US: f64 = 0.05;
+
+/// `pid` assigned to HUB `h`.
+fn hub_pid(hub: u8) -> u32 {
+    1 + hub as u32
+}
+
+/// `pid` assigned to CAB `c` (offset clear of any HUB pid).
+fn cab_pid(cab: u16) -> u32 {
+    1000 + cab as u32
+}
+
+/// Track (tid) layout within a CAB process.
+const TID_DMA: u32 = 1;
+const TID_KERNEL: u32 = 2;
+const TID_TRANSPORT: u32 = 3;
+const TID_APP: u32 = 4;
+
+/// (pid, tid, args) for one event. HUB events land on the controller
+/// track (tid 0) or the output-port track (tid = port + 1).
+fn placement(kind: &EventKind) -> (u32, u32, String) {
+    match *kind {
+        EventKind::ConnectionOpen { hub, input, output }
+        | EventKind::ConnectionClose { hub, input, output } => {
+            (hub_pid(hub), 0, format!("\"input\": {input}, \"output\": {output}"))
+        }
+        EventKind::CrossbarForward { hub, input, output, bytes } => (
+            hub_pid(hub),
+            1 + output as u32,
+            format!("\"input\": {input}, \"output\": {output}, \"bytes\": {bytes}"),
+        ),
+        EventKind::DmaStart { cab, channel, bytes }
+        | EventKind::DmaComplete { cab, channel, bytes } => {
+            (cab_pid(cab), TID_DMA, format!("\"channel\": {channel}, \"bytes\": {bytes}"))
+        }
+        EventKind::ThreadSwitch { cab, from, to } => {
+            (cab_pid(cab), TID_KERNEL, format!("\"from\": {from}, \"to\": {to}"))
+        }
+        EventKind::DatalinkRetry { cab } => (cab_pid(cab), TID_TRANSPORT, String::new()),
+        EventKind::TransportSend { cab, peer, seq, retransmit } => (
+            cab_pid(cab),
+            TID_TRANSPORT,
+            format!("\"peer\": {peer}, \"seq\": {seq}, \"retransmit\": {retransmit}"),
+        ),
+        EventKind::TransportAck { cab, peer, ack } => {
+            (cab_pid(cab), TID_TRANSPORT, format!("\"peer\": {peer}, \"ack\": {ack}"))
+        }
+        EventKind::TransportTimeout { cab } => (cab_pid(cab), TID_TRANSPORT, String::new()),
+        EventKind::AppSend { cab, dst, bytes } => {
+            (cab_pid(cab), TID_APP, format!("\"dst\": {dst}, \"bytes\": {bytes}"))
+        }
+        EventKind::AppRecv { cab, mailbox, bytes } => {
+            (cab_pid(cab), TID_APP, format!("\"mailbox\": {mailbox}, \"bytes\": {bytes}"))
+        }
+    }
+}
+
+/// Human-readable names for the process/thread metadata events.
+fn track_names(kind: &EventKind) -> (String, String) {
+    let (pid_name, tid_name): (String, String) = match *kind {
+        EventKind::ConnectionOpen { hub, .. } | EventKind::ConnectionClose { hub, .. } => {
+            (format!("HUB {hub}"), "controller".to_string())
+        }
+        EventKind::CrossbarForward { hub, output, .. } => {
+            (format!("HUB {hub}"), format!("port {output} out"))
+        }
+        EventKind::DmaStart { cab, .. } | EventKind::DmaComplete { cab, .. } => {
+            (format!("CAB {cab}"), "dma".to_string())
+        }
+        EventKind::ThreadSwitch { cab, .. } => (format!("CAB {cab}"), "kernel".to_string()),
+        EventKind::DatalinkRetry { cab }
+        | EventKind::TransportSend { cab, .. }
+        | EventKind::TransportAck { cab, .. }
+        | EventKind::TransportTimeout { cab } => (format!("CAB {cab}"), "transport".to_string()),
+        EventKind::AppSend { cab, .. } | EventKind::AppRecv { cab, .. } => {
+            (format!("CAB {cab}"), "app".to_string())
+        }
+    };
+    (pid_name, tid_name)
+}
+
+fn push_event(out: &mut Vec<String>, body: String) {
+    out.push(format!("    {{{body}}}"));
+}
+
+/// Renders telemetry events as a Chrome trace-event JSON document.
+///
+/// The input need not be sorted; events are ordered by timestamp in
+/// the output. DMA `start`/`complete` pairs (matched per CAB and
+/// channel, FIFO) merge into one duration slice; everything else
+/// becomes a short slice so Perfetto draws flow arrows through it.
+pub fn chrome_trace(events: &[TelemetryEvent]) -> String {
+    let mut sorted: Vec<&TelemetryEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.at);
+
+    let mut lines: Vec<String> = Vec::new();
+    // Track metadata discovered along the way: pid -> name, (pid, tid) -> name.
+    let mut processes: BTreeMap<u32, String> = BTreeMap::new();
+    let mut threads: BTreeMap<(u32, u32), String> = BTreeMap::new();
+    // Open DMA transfers: (cab, channel) -> FIFO of start timestamps (µs).
+    let mut dma_open: BTreeMap<(u16, u8), Vec<f64>> = BTreeMap::new();
+    // Events per flight for flow arrows: flight -> [(ts, pid, tid)].
+    let mut flights: BTreeMap<u64, Vec<(f64, u32, u32)>> = BTreeMap::new();
+
+    for ev in &sorted {
+        let ts = ev.at.nanos() as f64 / 1000.0;
+        let (pid, tid, args) = placement(&ev.kind);
+        let (pname, tname) = track_names(&ev.kind);
+        processes.entry(pid).or_insert(pname);
+        threads.entry((pid, tid)).or_insert(tname);
+        if ev.flight.is_some() {
+            flights.entry(ev.flight.0).or_default().push((ts, pid, tid));
+        }
+
+        let mut full_args = args;
+        if ev.flight.is_some() {
+            if !full_args.is_empty() {
+                full_args.push_str(", ");
+            }
+            full_args.push_str(&format!("\"flight\": {}", ev.flight.0));
+        }
+        let name = json_escape(ev.kind.label());
+
+        match ev.kind {
+            EventKind::DmaStart { cab, channel, .. } => {
+                dma_open.entry((cab, channel)).or_default().push(ts);
+            }
+            EventKind::DmaComplete { cab, channel, .. } => {
+                let start = dma_open
+                    .get_mut(&(cab, channel))
+                    .and_then(|q| (!q.is_empty()).then(|| q.remove(0)));
+                let (t0, dur) = match start {
+                    Some(t0) => (t0, (ts - t0).max(POINT_DUR_US)),
+                    None => (ts, POINT_DUR_US),
+                };
+                push_event(
+                    &mut lines,
+                    format!(
+                        "\"name\": \"dma\", \"ph\": \"X\", \"ts\": {t0:.3}, \"dur\": {dur:.3}, \
+                         \"pid\": {pid}, \"tid\": {tid}, \"args\": {{{full_args}}}"
+                    ),
+                );
+            }
+            _ => {
+                push_event(
+                    &mut lines,
+                    format!(
+                        "\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {ts:.3}, \
+                         \"dur\": {POINT_DUR_US:.3}, \"pid\": {pid}, \"tid\": {tid}, \
+                         \"args\": {{{full_args}}}"
+                    ),
+                );
+            }
+        }
+    }
+
+    // A DMA transfer still open at the end of the capture renders as a
+    // point slice so nothing is silently lost.
+    for ((cab, channel), starts) in &dma_open {
+        let (pid, tid, _) =
+            placement(&EventKind::DmaStart { cab: *cab, channel: *channel, bytes: 0 });
+        for t0 in starts {
+            push_event(
+                &mut lines,
+                format!(
+                    "\"name\": \"dma (unfinished)\", \"ph\": \"X\", \"ts\": {t0:.3}, \
+                     \"dur\": {POINT_DUR_US:.3}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {{}}"
+                ),
+            );
+        }
+    }
+
+    // Flow arrows: start at the flight's first event, step through the
+    // middles, finish at the last.
+    for (flight, hops) in &flights {
+        if hops.len() < 2 {
+            continue;
+        }
+        for (i, &(ts, pid, tid)) in hops.iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i + 1 == hops.len() {
+                "f"
+            } else {
+                "t"
+            };
+            let bp = if ph == "f" { ", \"bp\": \"e\"" } else { "" };
+            push_event(
+                &mut lines,
+                format!(
+                    "\"name\": \"flight\", \"cat\": \"flight\", \"ph\": \"{ph}\", \
+                     \"id\": {flight}, \"ts\": {ts:.3}, \"pid\": {pid}, \"tid\": {tid}{bp}"
+                ),
+            );
+        }
+    }
+
+    // Metadata names so Perfetto labels the tracks.
+    for (pid, name) in &processes {
+        push_event(
+            &mut lines,
+            format!(
+                "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"{}\"}}",
+                json_escape(name)
+            ),
+        );
+    }
+    for ((pid, tid), name) in &threads {
+        push_event(
+            &mut lines,
+            format!(
+                "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{}\"}}",
+                json_escape(name)
+            ),
+        );
+    }
+
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::telemetry::FlightId;
+    use crate::time::Time;
+
+    fn ev(ns: u64, flight: u64, kind: EventKind) -> TelemetryEvent {
+        TelemetryEvent { at: Time::from_nanos(ns), flight: FlightId(flight), kind }
+    }
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            ev(0, 7, EventKind::AppSend { cab: 0, dst: 1, bytes: 100 }),
+            ev(500, 7, EventKind::TransportSend { cab: 0, peer: 1, seq: 0, retransmit: false }),
+            ev(900, 7, EventKind::DmaStart { cab: 0, channel: 1, bytes: 100 }),
+            ev(1700, 7, EventKind::DmaComplete { cab: 0, channel: 1, bytes: 100 }),
+            ev(2400, 7, EventKind::CrossbarForward { hub: 0, input: 3, output: 8, bytes: 102 }),
+            ev(3100, 7, EventKind::CrossbarForward { hub: 1, input: 0, output: 2, bytes: 102 }),
+            ev(4000, 7, EventKind::AppRecv { cab: 1, mailbox: 5, bytes: 100 }),
+        ]
+    }
+
+    #[test]
+    fn output_is_valid_json_with_required_fields() {
+        let doc = chrome_trace(&sample_events());
+        let v = parse(&doc).expect("exporter must emit valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        for e in events {
+            assert!(e.get("ph").and_then(Json::as_str).is_some(), "missing ph: {e:?}");
+            assert!(e.get("pid").and_then(Json::as_f64).is_some(), "missing pid: {e:?}");
+            // ts is required on everything except metadata records.
+            if e.get("ph").unwrap().as_str() != Some("M") {
+                assert!(e.get("ts").and_then(Json::as_f64).is_some(), "missing ts: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dma_pair_becomes_duration_slice() {
+        let doc = chrome_trace(&sample_events());
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let dma = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("dma"))
+            .expect("dma slice present");
+        let dur = dma.get("dur").unwrap().as_f64().unwrap();
+        assert!((dur - 0.8).abs() < 1e-9, "900..1700 ns should be 0.8 µs, got {dur}");
+    }
+
+    #[test]
+    fn flight_gets_flow_arrows() {
+        let doc = chrome_trace(&sample_events());
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("flight"))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases.first(), Some(&"s"));
+        assert_eq!(phases.last(), Some(&"f"));
+        assert!(phases.iter().filter(|&&p| p == "t").count() >= 1);
+    }
+
+    #[test]
+    fn tracks_are_named() {
+        let doc = chrome_trace(&sample_events());
+        assert!(doc.contains("HUB 0") && doc.contains("HUB 1"));
+        assert!(doc.contains("CAB 0") && doc.contains("CAB 1"));
+        assert!(doc.contains("port 8 out"));
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        let doc = chrome_trace(&[]);
+        let v = parse(&doc).unwrap();
+        assert!(v.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`rng`] — seeded, reproducible randomness for workloads.
 //! * [`stats`] — counters, sample distributions, throughput meters.
 //! * [`trace`] — the software analogue of the HUB instrumentation board.
+//! * [`telemetry`] — typed flight-recorder events with causal flight ids.
+//! * [`metrics`] — the unified counter/gauge/histogram registry.
+//! * [`export`] — Chrome trace-event (Perfetto) JSON rendering.
+//! * [`json`] — string escaping and a small parser for export checks.
 //!
 //! # Examples
 //!
@@ -31,8 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod export;
+pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod units;
@@ -40,8 +48,10 @@ pub mod units;
 /// The most frequently used names, for glob import.
 pub mod prelude {
     pub use crate::engine::{Engine, EventId};
+    pub use crate::metrics::{Histogram, MetricsRegistry};
     pub use crate::rng::Rng;
     pub use crate::stats::{Counter, Samples, Throughput, TimeWeighted};
+    pub use crate::telemetry::{EventKind, FlightId, Telemetry, TelemetryEvent};
     pub use crate::time::{Dur, Time};
     pub use crate::trace::{Category, Trace};
     pub use crate::units::Bandwidth;

@@ -1,0 +1,382 @@
+//! Typed telemetry events — the flight recorder behind the trace ring.
+//!
+//! The HUB's plug-in instrumentation board "can monitor and record
+//! events related to the crossbar and its controller" (paper §4.1).
+//! [`Trace`](crate::trace::Trace) models that board with free-form
+//! strings; this module is the structured counterpart: a fixed set of
+//! [`EventKind`]s carrying component ids and a [`FlightId`], so a
+//! message can be followed causally from the sending application
+//! through CAB DMA, every HUB hop, and delivery on the far side.
+//!
+//! Events are `Copy` and recording while disabled costs exactly one
+//! branch — no formatting, no allocation — so instrumentation can stay
+//! compiled into the hot paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use nectar_sim::telemetry::{EventKind, FlightId, Telemetry};
+//! use nectar_sim::time::Time;
+//!
+//! let mut tel = Telemetry::with_capacity(16);
+//! tel.record(
+//!     Time::from_nanos(700),
+//!     FlightId(42),
+//!     EventKind::CrossbarForward { hub: 0, input: 3, output: 8, bytes: 96 },
+//! );
+//! assert_eq!(tel.len(), 1);
+//! assert!(tel.events().next().unwrap().flight.is_some());
+//! ```
+
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identity of one message end-to-end: the packet id minted by the
+/// sending CAB. Events not tied to any particular message carry
+/// [`FlightId::NONE`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlightId(pub u64);
+
+impl FlightId {
+    /// Sentinel for events with no associated flight.
+    pub const NONE: FlightId = FlightId(u64::MAX);
+
+    /// `true` unless this is the [`NONE`](FlightId::NONE) sentinel.
+    pub fn is_some(self) -> bool {
+        self != FlightId::NONE
+    }
+}
+
+impl fmt::Display for FlightId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "f{}", self.0)
+        } else {
+            f.write_str("f-")
+        }
+    }
+}
+
+/// What happened. Component ids are raw indices (HUB number, CAB
+/// number, port number) so the variants stay `Copy` and crate-neutral.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// HUB controller established an input→output circuit.
+    ConnectionOpen {
+        /// HUB number.
+        hub: u8,
+        /// Input port.
+        input: u8,
+        /// Output port.
+        output: u8,
+    },
+    /// HUB controller tore an input→output circuit down.
+    ConnectionClose {
+        /// HUB number.
+        hub: u8,
+        /// Input port.
+        input: u8,
+        /// Output port.
+        output: u8,
+    },
+    /// The crossbar moved an item from an input queue to an output
+    /// queue (one HUB hop of a flight, or a command/reply).
+    CrossbarForward {
+        /// HUB number.
+        hub: u8,
+        /// Input port.
+        input: u8,
+        /// Output port.
+        output: u8,
+        /// Wire bytes forwarded.
+        bytes: u32,
+    },
+    /// A CAB DMA channel began a transfer.
+    DmaStart {
+        /// CAB number.
+        cab: u16,
+        /// DMA channel index.
+        channel: u8,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// A CAB DMA transfer finished.
+    DmaComplete {
+        /// CAB number.
+        cab: u16,
+        /// DMA channel index.
+        channel: u8,
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// The CAB kernel switched threads.
+    ThreadSwitch {
+        /// CAB number.
+        cab: u16,
+        /// Outgoing thread id (`u32::MAX` when none was running).
+        from: u32,
+        /// Incoming thread id.
+        to: u32,
+    },
+    /// The datalink re-drove a transmission after a missed
+    /// ready-signal (flow-control recovery).
+    DatalinkRetry {
+        /// CAB number.
+        cab: u16,
+    },
+    /// A transport handed a packet to the datalink.
+    TransportSend {
+        /// Sending CAB.
+        cab: u16,
+        /// Destination CAB.
+        peer: u16,
+        /// Transport sequence number.
+        seq: u32,
+        /// `true` when this is a retransmission.
+        retransmit: bool,
+    },
+    /// A transport received an acknowledgment.
+    TransportAck {
+        /// Receiving CAB.
+        cab: u16,
+        /// The acknowledging peer.
+        peer: u16,
+        /// Cumulative ack value.
+        ack: u32,
+    },
+    /// A transport retransmission/response timer fired.
+    TransportTimeout {
+        /// CAB whose timer expired.
+        cab: u16,
+    },
+    /// An application asked a transport to send a message.
+    AppSend {
+        /// Sending CAB.
+        cab: u16,
+        /// Destination CAB.
+        dst: u16,
+        /// Message size in bytes.
+        bytes: u32,
+    },
+    /// A complete message was delivered into a mailbox.
+    AppRecv {
+        /// Receiving CAB.
+        cab: u16,
+        /// Destination mailbox.
+        mailbox: u16,
+        /// Message size in bytes.
+        bytes: u32,
+    },
+}
+
+impl EventKind {
+    /// Short stable name, used by exporters and trace dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::ConnectionOpen { .. } => "connection_open",
+            EventKind::ConnectionClose { .. } => "connection_close",
+            EventKind::CrossbarForward { .. } => "crossbar_forward",
+            EventKind::DmaStart { .. } => "dma_start",
+            EventKind::DmaComplete { .. } => "dma_complete",
+            EventKind::ThreadSwitch { .. } => "thread_switch",
+            EventKind::DatalinkRetry { .. } => "datalink_retry",
+            EventKind::TransportSend { .. } => "transport_send",
+            EventKind::TransportAck { .. } => "transport_ack",
+            EventKind::TransportTimeout { .. } => "transport_timeout",
+            EventKind::AppSend { .. } => "app_send",
+            EventKind::AppRecv { .. } => "app_recv",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Simulation time of the event.
+    pub at: Time,
+    /// The flight this event belongs to, or [`FlightId::NONE`].
+    pub flight: FlightId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {} {:?}", self.at, self.flight, self.kind.label(), self.kind)
+    }
+}
+
+/// A bounded ring of [`TelemetryEvent`]s, disabled by default.
+///
+/// Like the instrumentation board it is a plug-in: every component owns
+/// one, and unless an experiment enables it, [`record`](Telemetry::record)
+/// is a single branch. `subject` lets a shared component (the kernel
+/// scheduler, say) be stamped with the CAB it belongs to without
+/// threading ids through every call site.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    ring: VecDeque<TelemetryEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+    subject: u16,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            ring: VecDeque::new(),
+            capacity: 1 << 16,
+            enabled: false,
+            dropped: 0,
+            subject: 0,
+        }
+    }
+}
+
+impl Telemetry {
+    /// Creates an **enabled** recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Telemetry {
+        assert!(capacity > 0, "telemetry capacity must be positive");
+        Telemetry { capacity, enabled: true, ..Telemetry::default() }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` if events are currently kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The owner id stamped on events recorded through this instance
+    /// (e.g. the CAB number for a kernel scheduler's recorder).
+    pub fn subject(&self) -> u16 {
+        self.subject
+    }
+
+    /// Sets the owner id (see [`subject`](Telemetry::subject)).
+    pub fn set_subject(&mut self, subject: u16) {
+        self.subject = subject;
+    }
+
+    /// Appends an event (dropping the oldest at capacity). One branch
+    /// when disabled.
+    #[inline]
+    pub fn record(&mut self, at: Time, flight: FlightId, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TelemetryEvent { at, flight, kind });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events lost to capacity since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn events(&self) -> impl Iterator<Item = &TelemetryEvent> {
+        self.ring.iter()
+    }
+
+    /// Removes and returns all retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<TelemetryEvent> {
+        self.ring.drain(..).collect()
+    }
+
+    /// Discards all retained events (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    fn fwd(hub: u8) -> EventKind {
+        EventKind::CrossbarForward { hub, input: 0, output: 1, bytes: 8 }
+    }
+
+    #[test]
+    fn disabled_by_default_and_costs_nothing() {
+        let mut tel = Telemetry::default();
+        assert!(!tel.is_enabled());
+        tel.record(t(1), FlightId(1), fwd(0));
+        assert!(tel.is_empty());
+        tel.set_enabled(true);
+        tel.record(t(2), FlightId(1), fwd(0));
+        assert_eq!(tel.len(), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut tel = Telemetry::with_capacity(2);
+        for i in 0..3 {
+            tel.record(t(i), FlightId(i), fwd(0));
+        }
+        assert_eq!(tel.len(), 2);
+        assert_eq!(tel.dropped(), 1);
+        assert_eq!(tel.events().next().unwrap().flight, FlightId(1));
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut tel = Telemetry::with_capacity(8);
+        tel.record(t(5), FlightId::NONE, fwd(1));
+        tel.record(t(9), FlightId(3), fwd(2));
+        let out = tel.drain();
+        assert!(tel.is_empty());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].at, t(5));
+        assert_eq!(out[1].flight, FlightId(3));
+    }
+
+    #[test]
+    fn flight_sentinel() {
+        assert!(!FlightId::NONE.is_some());
+        assert!(FlightId(0).is_some());
+        assert_eq!(FlightId(7).to_string(), "f7");
+        assert_eq!(FlightId::NONE.to_string(), "f-");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(fwd(0).label(), "crossbar_forward");
+        assert_eq!(EventKind::DatalinkRetry { cab: 1 }.label(), "datalink_retry");
+    }
+
+    #[test]
+    fn display_mentions_label() {
+        let ev = TelemetryEvent { at: t(700), flight: FlightId(4), kind: fwd(2) };
+        let s = ev.to_string();
+        assert!(s.contains("crossbar_forward") && s.contains("f4"), "{s}");
+    }
+}

@@ -134,7 +134,28 @@ impl Trace {
     }
 
     /// Appends a record (dropping the oldest if at capacity).
+    ///
+    /// The message argument is evaluated by the caller even when the
+    /// trace is disabled; hot paths that would `format!` should use
+    /// [`record_with`](Trace::record_with) instead.
     pub fn record(&mut self, at: Time, category: Category, message: impl Into<String>) {
+        self.record_with(at, category, || message.into());
+    }
+
+    /// Appends a record, building the message lazily: when the trace
+    /// is disabled the closure is never called, so the call site costs
+    /// one branch — no formatting, no allocation.
+    ///
+    /// ```
+    /// use nectar_sim::trace::{Trace, Category};
+    /// use nectar_sim::time::Time;
+    ///
+    /// let mut tr = Trace::disabled();
+    /// // This format! never runs:
+    /// tr.record_with(Time::ZERO, Category::Controller, || format!("open P{}->P{}", 4, 8));
+    /// assert!(tr.is_empty());
+    /// ```
+    pub fn record_with(&mut self, at: Time, category: Category, message: impl FnOnce() -> String) {
         if !self.enabled {
             return;
         }
@@ -142,7 +163,7 @@ impl Trace {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(Record { at, category, message: message.into() });
+        self.ring.push_back(Record { at, category, message: message() });
     }
 
     /// Number of retained records.

@@ -1,0 +1,80 @@
+//! Differential test: the log-bucketed [`Histogram`] against the
+//! exact-but-unbounded [`Samples`] collection. The histogram keeps no
+//! raw observations, so its quantiles are approximate — but the
+//! log-linear bucketing (64 sub-buckets per octave) bounds the
+//! relative error of any quantile by the bucket width, ~1.6%.
+
+use nectar_sim::metrics::Histogram;
+use nectar_sim::stats::Samples;
+use proptest::prelude::*;
+
+const REL_TOL: f64 = 0.02;
+
+fn check_quantiles(values: &[u64]) {
+    let mut h = Histogram::new();
+    let mut s = Samples::new("exact");
+    for &v in values {
+        h.observe(v);
+        s.record(v as f64);
+    }
+    prop_assert_eq!(h.count(), values.len() as u64);
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let exact = s.quantile(q);
+        let approx = h.quantile(q);
+        let tol = (exact * REL_TOL).max(1.0);
+        prop_assert!(
+            (approx - exact).abs() <= tol,
+            "q={} exact={} approx={} tol={}",
+            q,
+            exact,
+            approx,
+            tol
+        );
+    }
+    // min/max are tracked exactly, never approximated.
+    prop_assert_eq!(h.min(), values.iter().copied().min().unwrap_or(0));
+    prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+}
+
+proptest! {
+    #[test]
+    fn quantiles_track_exact_samples_small(
+        values in prop::collection::vec(0u64..1000, 1..300),
+    ) {
+        check_quantiles(&values);
+    }
+
+    #[test]
+    fn quantiles_track_exact_samples_wide(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..300),
+    ) {
+        check_quantiles(&values);
+    }
+
+    #[test]
+    fn quantiles_survive_merging(
+        a in prop::collection::vec(0u64..100_000, 1..150),
+        b in prop::collection::vec(0u64..100_000, 1..150),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut s = Samples::new("exact");
+        for &v in &a {
+            ha.observe(v);
+            s.record(v as f64);
+        }
+        for &v in &b {
+            hb.observe(v);
+            s.record(v as f64);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        for q in [0.5, 0.9, 0.99] {
+            let exact = s.quantile(q);
+            let approx = ha.quantile(q);
+            let tol = (exact * REL_TOL).max(1.0);
+            prop_assert!((approx - exact).abs() <= tol,
+                "merged q={} exact={} approx={}", q, exact, approx);
+        }
+    }
+}
