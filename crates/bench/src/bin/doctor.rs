@@ -1,0 +1,62 @@
+//! `nectar-doctor`, standalone: runs experiments with the flight
+//! recorder armed and prints the critical-path attribution and
+//! pathology findings for each — without the full report tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! doctor [--strict] [ids...]
+//! ```
+//!
+//! With no ids, every experiment that supports telemetry capture (see
+//! `TRACEABLE`) is analyzed. `--strict` exits non-zero when any
+//! critical finding fires, so the doctor can gate a CI lane on
+//! "no pathologies" in addition to the perf-compare gate.
+
+use nectar_bench::experiments::{ExpCtx, TRACEABLE};
+use nectar_bench::registry;
+use nectar_sim::analysis::{diagnose, pathology::Severity};
+
+fn main() {
+    let mut strict = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            other if other.starts_with('-') => {
+                eprintln!("usage: doctor [--strict] [ids...]");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_lowercase()),
+        }
+    }
+    let reg = registry();
+    let selected: Vec<&str> =
+        if ids.is_empty() { TRACEABLE.to_vec() } else { ids.iter().map(String::as_str).collect() };
+    let ctx = ExpCtx { metrics: true, trace: true };
+    let mut criticals = 0usize;
+    for id in &selected {
+        let Some((_, desc, run)) = reg.iter().find(|(rid, _, _)| rid == id) else {
+            eprintln!("unknown experiment {id}; traceable ids: {}", TRACEABLE.join(", "));
+            std::process::exit(2);
+        };
+        if !TRACEABLE.contains(id) {
+            println!("{id} — no telemetry capture; skipping");
+            continue;
+        }
+        let table = run(&ctx);
+        let report = diagnose(&table.trace, table.metrics.as_ref());
+        println!("{id} — {desc} ({} telemetry events)", table.trace.len());
+        print!("{}", report.render());
+        println!();
+        criticals += report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Critical && f.confident)
+            .count();
+    }
+    if strict && criticals > 0 {
+        eprintln!("doctor --strict: {criticals} critical finding(s)");
+        std::process::exit(1);
+    }
+}

@@ -6,8 +6,9 @@
 //! Usage:
 //!
 //! ```text
-//! report [--list] [--jobs N] [--json PATH] [--metrics]
-//!        [--trace EXP] [--trace-out PATH] [ids... | all]
+//! report [--list] [--jobs N] [--json PATH] [--metrics] [--doctor]
+//!        [--compare BASELINE] [--trace EXP] [--trace-out PATH]
+//!        [ids... | all]
 //! ```
 //!
 //! `--metrics` harvests every experiment's counters and latency
@@ -15,6 +16,12 @@
 //! `--trace EXP` records the flight recorder while experiment `EXP`
 //! runs and writes a Chrome trace-event file (load it in Perfetto or
 //! `chrome://tracing`) to `--trace-out`, default `trace_<EXP>.json`.
+//! `--doctor` runs `nectar-doctor` over every selected experiment that
+//! supports tracing: a per-segment "where did the time go" table plus
+//! pathology findings (see `docs/observability.md`).
+//! `--compare BASELINE` diffs this run's metrics against a committed
+//! baseline (`BENCH_baseline.json`) and exits non-zero on regression —
+//! the CI perf gate. Implies `--metrics`.
 //!
 //! Every experiment builds its own world, so they are embarrassingly
 //! parallel: with `--jobs N` the registry is drained by `N` scoped
@@ -22,7 +29,7 @@
 //! stays deterministic — tables are buffered and printed in registry
 //! order regardless of completion order.
 
-use nectar_bench::experiments::{ExpCtx, Experiment};
+use nectar_bench::experiments::{ExpCtx, Experiment, TRACEABLE};
 use nectar_bench::registry;
 use nectar_bench::table::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,7 +45,8 @@ struct Outcome {
 fn usage() -> ! {
     eprintln!(
         "usage: report [--list] [--jobs N] [--json PATH] [--metrics] \
-         [--trace EXP] [--trace-out PATH] [ids... | all]"
+         [--doctor] [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
+         [ids... | all]"
     );
     std::process::exit(2);
 }
@@ -49,6 +57,8 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
     let mut metrics = false;
+    let mut doctor = false;
+    let mut compare_path: Option<String> = None;
     let mut trace_id: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -64,11 +74,17 @@ fn main() {
             }
             "--json" => json_path = args.next().unwrap_or_else(|| usage()),
             "--metrics" => metrics = true,
+            "--doctor" => doctor = true,
+            "--compare" => compare_path = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_id = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             other if other.starts_with('-') => usage(),
             other => ids.push(other.to_lowercase()),
         }
+    }
+    // Both analysis modes need the data they analyze.
+    if doctor || compare_path.is_some() {
+        metrics = true;
     }
     let reg = registry();
     if list {
@@ -97,9 +113,12 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let results = run_experiments(&selected, jobs, metrics, trace_id.as_deref());
+    let results = run_experiments(&selected, jobs, metrics, doctor, trace_id.as_deref());
     for r in &results {
         println!("{}", r.table);
+    }
+    if doctor {
+        print_doctor(&results);
     }
     if let Some(tid) = &trace_id {
         let r = results.iter().find(|r| r.id == tid).expect("traced experiment ran");
@@ -115,6 +134,65 @@ fn main() {
         Ok(()) => eprintln!("wrote {json_path} ({} experiments)", results.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
+    if let Some(baseline_path) = compare_path {
+        if !run_compare(&baseline_path, &json) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints the doctor report for every selected experiment that captures
+/// telemetry. Experiments outside [`TRACEABLE`] have no event stream to
+/// analyze and are listed as such rather than silently skipped.
+fn print_doctor(results: &[Outcome]) {
+    println!("nectar-doctor — critical path and pathologies");
+    println!("=============================================");
+    for r in results {
+        if !TRACEABLE.contains(&r.id) {
+            continue;
+        }
+        println!("\n{} — {} telemetry events", r.id, r.table.trace.len());
+        let report = nectar_sim::analysis::diagnose(&r.table.trace, r.table.metrics.as_ref());
+        print!("{}", report.render());
+    }
+    let skipped: Vec<&str> =
+        results.iter().map(|r| r.id).filter(|id| !TRACEABLE.contains(id)).collect();
+    if !skipped.is_empty() {
+        println!("\n(no telemetry capture for: {})", skipped.join(", "));
+    }
+    println!();
+}
+
+/// Diffs this run's metrics JSON against the committed baseline.
+/// Returns `false` (gate failed) on regression or unreadable input.
+fn run_compare(baseline_path: &str, current_json: &str) -> bool {
+    use nectar_sim::analysis::compare::{compare, CompareConfig};
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = match nectar_sim::json::parse(&baseline_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("baseline {baseline_path} is not valid JSON: {e:?}");
+            return false;
+        }
+    };
+    let current = nectar_sim::json::parse(current_json).expect("render_json emits valid JSON");
+    match compare(&baseline, &current, &CompareConfig::default()) {
+        Ok(report) => {
+            println!("perf gate vs {baseline_path}");
+            print!("{}", report.render());
+            report.passed()
+        }
+        Err(e) => {
+            eprintln!("compare failed: {e}");
+            false
+        }
+    }
 }
 
 /// Runs every selected experiment, on `jobs` worker threads when asked,
@@ -123,9 +201,13 @@ fn run_experiments(
     selected: &[Experiment],
     jobs: usize,
     metrics: bool,
+    doctor: bool,
     trace_id: Option<&str>,
 ) -> Vec<Outcome> {
-    let ctx_for = |id: &str| ExpCtx { metrics, trace: trace_id == Some(id) };
+    let ctx_for = |id: &str| ExpCtx {
+        metrics,
+        trace: trace_id == Some(id) || (doctor && TRACEABLE.contains(&id)),
+    };
     if jobs <= 1 || selected.len() <= 1 {
         return selected
             .iter()

@@ -60,6 +60,13 @@ impl ExpCtx {
 /// One registry entry: `(id, description, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(&ExpCtx) -> Table);
 
+/// Experiments that honor [`ExpCtx::trace`] (they call
+/// [`ExpCtx::absorb`] on their worlds). `report --trace` and the
+/// exporter validation in CI loop over exactly this list; an experiment
+/// that starts absorbing telemetry should be added here so its trace
+/// gets validated too (a registry test enforces the list stays honest).
+pub const TRACEABLE: &[&str] = &["e03", "e05", "e06", "e07", "e12", "e14"];
+
 /// All experiments in DESIGN.md order.
 pub fn registry() -> Vec<Experiment> {
     vec![
@@ -106,5 +113,17 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
+    }
+
+    #[test]
+    fn traceable_experiments_produce_traces() {
+        let reg = registry();
+        let ctx = ExpCtx { metrics: false, trace: true };
+        for id in TRACEABLE {
+            let (_, _, run) =
+                reg.iter().find(|(rid, _, _)| rid == id).expect("TRACEABLE id is registered");
+            let table = run(&ctx);
+            assert!(!table.trace.is_empty(), "{id} is listed TRACEABLE but produced no events");
+        }
     }
 }

@@ -468,6 +468,24 @@ impl World {
             cs.hw.dma.register_into(&mut reg, &format!("cab{c}.dma."));
             reg.counter_add(&format!("cab{c}.kernel.thread_switches"), cs.sched.switches());
             reg.counter_add(&format!("cab{c}.kernel.interrupts"), cs.sched.interrupts());
+            reg.counter_add(
+                &format!("cab{c}.kernel.thread_busy_ns"),
+                cs.sched.thread_busy().nanos(),
+            );
+            reg.counter_add(
+                &format!("cab{c}.kernel.interrupt_busy_ns"),
+                cs.sched.interrupt_busy().nanos(),
+            );
+            let (tx, rtx, tmo) = cs.streams.values().fold((0, 0, 0), |(a, b, t), s| {
+                let st = s.stats();
+                (a + st.data_sent, b + st.retransmissions, t + st.timeouts)
+            });
+            reg.counter_add(&format!("cab{c}.transport.data_sent"), tx);
+            reg.counter_add(&format!("cab{c}.transport.retransmissions"), rtx);
+            reg.counter_add(&format!("cab{c}.transport.timeouts"), tmo);
+            for mb in cs.mailboxes.values() {
+                reg.gauge_max("mailbox.capacity_bytes", mb.capacity() as f64);
+            }
             let (peak_bytes, peak_depth) = cs
                 .mailboxes
                 .values()
@@ -481,6 +499,12 @@ impl World {
         reg.counter_add("pool.misses", pool.misses);
         reg.counter_add("pool.reclaims", pool.reclaims);
         reg.counter_add("pool.dropped", pool.dropped);
+        // Ring overflow across every recorder: nonzero means the event
+        // stream is truncated and doctor findings must not be trusted.
+        let dropped = self.telemetry.dropped()
+            + self.hubs.iter().map(|h| h.telemetry().dropped()).sum::<u64>()
+            + self.cabs.iter().map(|cs| cs.sched.telemetry().dropped()).sum::<u64>();
+        reg.counter_add("telemetry.dropped_events", dropped);
         if !self.flight_latency.is_empty() {
             reg.merge_histogram("latency.flight_ns", &self.flight_latency);
         }
@@ -856,10 +880,14 @@ impl World {
                 }
                 let t = self.cfg.cab.timer_op;
                 let (_, done) = self.cabs[cab].sched.run_interrupt(now, t);
+                let timeout_peer = match source {
+                    TimerSource::Stream(peer) => peer as u16,
+                    TimerSource::Rpc => u16::MAX,
+                };
                 self.telemetry.record(
                     now,
                     FlightId::NONE,
-                    EventKind::TransportTimeout { cab: cab as u16 },
+                    EventKind::TransportTimeout { cab: cab as u16, peer: timeout_peer },
                 );
                 let mut actions = Vec::new();
                 match source {
@@ -1035,6 +1063,7 @@ impl World {
                     cab: src as u16,
                     peer: dsts[0] as u16,
                     seq: header.msg_id,
+                    bytes: data.len() as u32,
                     retransmit: false,
                 },
             );
@@ -1086,7 +1115,8 @@ impl World {
                     let mut wire = self.pool.acquire();
                     header.encode_into(&payload, &mut wire);
                     let dst = header.dst_cab.index();
-                    self.cab_send_packet(cab, dst, wire, done, header.seq, retransmit);
+                    let payload_len = payload.len() as u32;
+                    self.cab_send_packet(cab, dst, wire, done, header.seq, payload_len, retransmit);
                 }
                 Action::Deliver { mailbox, msg } => {
                     let mailbox_cap = self.cfg.mailbox_capacity;
@@ -1139,6 +1169,7 @@ impl World {
     // Datalink: CAB -> fiber
     // ---------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn cab_send_packet(
         &mut self,
         cab: usize,
@@ -1146,6 +1177,7 @@ impl World {
         wire: Vec<u8>,
         ready: Time,
         seq: u32,
+        payload_bytes: u32,
         retransmit: bool,
     ) {
         let packet = self.next_packet(cab, wire);
@@ -1157,7 +1189,13 @@ impl World {
             self.telemetry.record(
                 ready,
                 FlightId(packet.id()),
-                EventKind::TransportSend { cab: cab as u16, peer: dst as u16, seq, retransmit },
+                EventKind::TransportSend {
+                    cab: cab as u16,
+                    peer: dst as u16,
+                    seq,
+                    bytes: payload_bytes,
+                    retransmit,
+                },
             );
         }
         let queue_cap = self.cfg.hub.queue_capacity;
@@ -1239,6 +1277,15 @@ impl World {
             for item in burst {
                 let head = now.max(self.cabs[cab].fiber_free);
                 let wire = self.cfg.hub.wire_time(item.wire_bytes());
+                if let Item::Packet(p) = &item {
+                    // Span boundary: transmit queueing ends, fiber
+                    // serialization begins.
+                    self.telemetry.record(
+                        head,
+                        FlightId(p.id()),
+                        EventKind::FiberTx { cab: cab as u16, bytes: item.wire_bytes() as u32 },
+                    );
+                }
                 self.cabs[cab].fiber_free = head + wire;
                 self.cabs[cab].fiber_tx_busy += wire;
                 self.engine.schedule_at(head + prop, Ev::HubItem { hub, port, item });

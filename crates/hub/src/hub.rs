@@ -270,6 +270,20 @@ impl Hub {
             fx.defer(deadline, InternalEv::OverflowCheck { port, seq });
         }
         self.trace.record_with(now, Category::Port, || format!("{} {port} <- {item}", self.id));
+        if let Item::Packet(pkt) = &item {
+            // Span boundary: fiber serialization ends, crossbar queue
+            // wait begins. Paired with this flight's crossbar_forward
+            // on the same HUB, the gap is the hop's queue wait.
+            self.telemetry.record(
+                now,
+                FlightId(pkt.id()),
+                EventKind::CrossbarEnqueue {
+                    hub: self.id.raw(),
+                    input: port.index() as u8,
+                    bytes: size as u32,
+                },
+            );
+        }
         let p = &mut self.ports[port.index()];
         p.queued_bytes += charged;
         p.queue.push_back(Queued { seq, item, head_at: now, charged });

@@ -67,6 +67,8 @@ pub struct Scheduler {
     cpu_free: Time,
     switches: u64,
     interrupts: u64,
+    thread_busy: Dur,
+    interrupt_busy: Dur,
     telemetry: Telemetry,
 }
 
@@ -80,6 +82,8 @@ impl Scheduler {
             cpu_free: Time::ZERO,
             switches: 0,
             interrupts: 0,
+            thread_busy: Dur::ZERO,
+            interrupt_busy: Dur::ZERO,
             telemetry: Telemetry::default(),
         }
     }
@@ -141,6 +145,18 @@ impl Scheduler {
         self.threads[tid.index()].cpu_used
     }
 
+    /// Total CPU time spent in thread context (bursts plus coroutine
+    /// switch costs), across all threads.
+    pub fn thread_busy(&self) -> Dur {
+        self.thread_busy
+    }
+
+    /// Total CPU time spent in interrupt context (handler bodies plus
+    /// trap entries).
+    pub fn interrupt_busy(&self) -> Dur {
+        self.interrupt_busy
+    }
+
     /// Charges a burst of `work` to thread `tid`, ready to run at
     /// `now`. The burst starts when the CPU is free; if the CPU was
     /// last running a different thread, the coroutine switch cost
@@ -158,6 +174,7 @@ impl Scheduler {
             if let Some(prev) = self.current {
                 start += self.timings.thread_switch;
                 self.switches += 1;
+                self.thread_busy += self.timings.thread_switch;
                 let cab = self.telemetry.subject();
                 self.telemetry.record(
                     start,
@@ -170,6 +187,7 @@ impl Scheduler {
         let end = start + work;
         self.cpu_free = end;
         self.threads[tid.index()].cpu_used += work;
+        self.thread_busy += work;
         (start, end)
     }
 
@@ -195,6 +213,7 @@ impl Scheduler {
     /// Returns `(start, end)` of the handler body (after trap entry).
     pub fn run_interrupt(&mut self, now: Time, work: Dur) -> (Time, Time) {
         self.interrupts += 1;
+        self.interrupt_busy += self.timings.interrupt_entry + work;
         let start = now + self.timings.interrupt_entry;
         let end = start + work;
         // Steal the CPU: whatever was scheduled is delayed by the
@@ -299,6 +318,19 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn busy_time_accounting() {
+        let mut s = sched();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        s.run(Time::ZERO, a, Dur::from_micros(5));
+        s.run(Time::from_millis(1), b, Dur::from_micros(5));
+        let t = CabTimings::prototype();
+        assert_eq!(s.thread_busy(), Dur::from_micros(10) + t.thread_switch);
+        s.run_interrupt(Time::from_millis(2), Dur::from_micros(3));
+        assert_eq!(s.interrupt_busy(), Dur::from_micros(3) + t.interrupt_entry);
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub struct ByteStreamStats {
     pub duplicates: u64,
     /// Out-of-order packets dropped (go-back-N).
     pub dropped_out_of_order: u64,
+    /// Retransmission-timer expiries that resent the window.
+    pub timeouts: u64,
 }
 
 /// One full-duplex byte-stream connection between `local` and `peer`.
@@ -302,6 +304,9 @@ impl ByteStream {
             return;
         }
         // Go-back-N: resend the whole window.
+        if !self.inflight.is_empty() {
+            self.stats.timeouts += 1;
+        }
         for pkt in &self.inflight {
             out.push(Action::Send {
                 header: pkt.header,

@@ -1,0 +1,307 @@
+//! The perf-regression gate: diff two `BENCH_sim.json`-shaped reports
+//! with noise-aware tolerances.
+//!
+//! The gate compares **deterministic simulated quantities only** —
+//! per-experiment histogram quantiles (simulated nanoseconds) and event
+//! counts. Wall-clock fields (`wall_ms`, `events_per_sec`) vary with
+//! the machine running the bench and are reported informationally, never
+//! gated on. Because the simulation is deterministic, an identical
+//! re-run produces *identical* simulated metrics; the tolerances exist
+//! so intentional small model changes don't demand a baseline refresh.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Gate tolerances.
+#[derive(Clone, Debug)]
+pub struct CompareConfig {
+    /// Relative tolerance on histogram quantiles (p50/p99) before a
+    /// change counts as a regression or improvement.
+    pub latency_tolerance: f64,
+    /// Relative tolerance on per-experiment event counts.
+    pub events_tolerance: f64,
+    /// Baselines below this absolute value are skipped — relative
+    /// deltas on tiny numbers are noise (e.g. a 3-event experiment).
+    pub noise_floor: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig { latency_tolerance: 0.20, events_tolerance: 0.25, noise_floor: 64.0 }
+    }
+}
+
+/// What happened to one metric between baseline and current.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance.
+    Ok,
+    /// Got better by more than the tolerance.
+    Improved,
+    /// Got worse by more than the tolerance — the gate fails.
+    Regressed,
+    /// Present in the baseline, absent from the current run — treated
+    /// as a regression (coverage must not silently shrink).
+    Missing,
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Experiment id (`e03`, `e14`, ...).
+    pub experiment: String,
+    /// Metric name (`latency.flight_ns.p50`, `events`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (0 when missing).
+    pub current: f64,
+    /// The gate's judgment.
+    pub verdict: Verdict,
+}
+
+/// The full diff between a baseline and a current report.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Every compared metric, in report order.
+    pub deltas: Vec<Delta>,
+    /// Metrics skipped as below the noise floor.
+    pub skipped: usize,
+    /// Experiments present in only one of the two reports.
+    pub uncompared: Vec<String>,
+}
+
+impl CompareReport {
+    /// Number of regressions (including missing metrics).
+    pub fn regressions(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| matches!(d.verdict, Verdict::Regressed | Verdict::Missing))
+            .count()
+    }
+
+    /// Number of metrics that improved past the tolerance.
+    pub fn improvements(&self) -> usize {
+        self.deltas.iter().filter(|d| d.verdict == Verdict::Improved).count()
+    }
+
+    /// `true` when the gate passes (no regressions).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Renders the diff as an aligned table plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<34} {:>14} {:>14} {:>8}  verdict",
+            "exp", "metric", "baseline", "current", "delta"
+        );
+        for d in &self.deltas {
+            if d.verdict == Verdict::Ok {
+                continue;
+            }
+            let rel =
+                if d.baseline != 0.0 { 100.0 * (d.current - d.baseline) / d.baseline } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{:<6} {:<34} {:>14.1} {:>14.1} {:>+7.1}%  {}",
+                d.experiment,
+                d.metric,
+                d.baseline,
+                d.current,
+                rel,
+                match d.verdict {
+                    Verdict::Ok => "ok",
+                    Verdict::Improved => "improved",
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::Missing => "MISSING",
+                },
+            );
+        }
+        for exp in &self.uncompared {
+            let _ = writeln!(out, "{exp:<6} (present in only one report — not compared)");
+        }
+        let _ = writeln!(
+            out,
+            "compared {} metrics ({} below noise floor skipped): \
+             {} regression(s), {} improvement(s) -> {}",
+            self.deltas.len(),
+            self.skipped,
+            self.regressions(),
+            self.improvements(),
+            if self.passed() { "PASS" } else { "FAIL" },
+        );
+        out
+    }
+}
+
+fn experiments(report: &Json) -> Vec<(&str, &Json)> {
+    report
+        .get("experiments")
+        .and_then(Json::as_array)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|e| e.get("id").and_then(Json::as_str).map(|id| (id, e)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Pulls the gated metrics out of one experiment entry: the event count
+/// plus p50/p99 of every histogram.
+fn gated_metrics(exp: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(events) = exp.get("events").and_then(Json::as_f64) {
+        out.push(("events".to_string(), events));
+    }
+    if let Some(hists) =
+        exp.get("metrics").and_then(|m| m.get("histograms")).and_then(Json::as_object)
+    {
+        for (name, h) in hists {
+            for q in ["p50", "p99"] {
+                if let Some(v) = h.get(q).and_then(Json::as_f64) {
+                    out.push((format!("{name}.{q}"), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Diffs two parsed bench reports. Errors when the reports share no
+/// experiments (a gate that compares nothing must not pass silently).
+pub fn compare(
+    baseline: &Json,
+    current: &Json,
+    cfg: &CompareConfig,
+) -> Result<CompareReport, String> {
+    let base_exps = experiments(baseline);
+    let cur_exps = experiments(current);
+    let mut report = CompareReport::default();
+    let mut compared_any = false;
+    for (id, base_exp) in &base_exps {
+        let Some((_, cur_exp)) = cur_exps.iter().find(|(cid, _)| cid == id) else {
+            report.uncompared.push(id.to_string());
+            continue;
+        };
+        compared_any = true;
+        let cur_metrics = gated_metrics(cur_exp);
+        for (metric, base_v) in gated_metrics(base_exp) {
+            if base_v < cfg.noise_floor {
+                report.skipped += 1;
+                continue;
+            }
+            let tol = if metric == "events" { cfg.events_tolerance } else { cfg.latency_tolerance };
+            let (current_v, verdict) =
+                match cur_metrics.iter().find(|(m, _)| *m == metric).map(|&(_, v)| v) {
+                    None => (0.0, Verdict::Missing),
+                    Some(v) => {
+                        let rel = (v - base_v) / base_v;
+                        let verdict = if rel > tol {
+                            Verdict::Regressed
+                        } else if rel < -tol {
+                            Verdict::Improved
+                        } else {
+                            Verdict::Ok
+                        };
+                        (v, verdict)
+                    }
+                };
+            report.deltas.push(Delta {
+                experiment: id.to_string(),
+                metric,
+                baseline: base_v,
+                current: current_v,
+                verdict,
+            });
+        }
+    }
+    for (id, _) in &cur_exps {
+        if !base_exps.iter().any(|(bid, _)| bid == id) {
+            report.uncompared.push(id.to_string());
+        }
+    }
+    if !compared_any {
+        return Err(
+            "baseline and current reports share no experiments — nothing to gate".to_string()
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn report(p50: f64, p99: f64, events: f64) -> Json {
+        parse(&format!(
+            r#"{{"experiments": [{{"id": "e03", "events": {events},
+                "metrics": {{"histograms": {{"latency.flight_ns":
+                  {{"count": 100, "p50": {p50}, "p99": {p99}}}}}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_rerun_passes() {
+        let base = report(20_000.0, 25_000.0, 5_000.0);
+        let rep = compare(&base, &base, &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.regressions(), 0);
+    }
+
+    #[test]
+    fn doubled_latency_fails() {
+        let base = report(20_000.0, 25_000.0, 5_000.0);
+        let slow = report(40_000.0, 50_000.0, 5_000.0);
+        let rep = compare(&base, &slow, &CompareConfig::default()).unwrap();
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions(), 2); // p50 and p99
+        assert!(rep.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn halved_latency_is_an_improvement_not_a_failure() {
+        let base = report(20_000.0, 25_000.0, 5_000.0);
+        let fast = report(10_000.0, 12_500.0, 5_000.0);
+        let rep = compare(&base, &fast, &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.improvements(), 2);
+    }
+
+    #[test]
+    fn missing_histogram_is_a_regression() {
+        let base = report(20_000.0, 25_000.0, 5_000.0);
+        let gutted = parse(r#"{"experiments": [{"id": "e03", "events": 5000}]}"#).unwrap();
+        let rep = compare(&base, &gutted, &CompareConfig::default()).unwrap();
+        assert!(!rep.passed());
+        assert!(rep.deltas.iter().any(|d| d.verdict == Verdict::Missing));
+    }
+
+    #[test]
+    fn tiny_baselines_are_skipped() {
+        let base = report(20.0, 30.0, 10.0);
+        let wild = report(400.0, 900.0, 63.0);
+        let rep = compare(&base, &wild, &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.skipped, 3);
+    }
+
+    #[test]
+    fn disjoint_reports_error() {
+        let base = report(20_000.0, 25_000.0, 5_000.0);
+        let other = parse(r#"{"experiments": [{"id": "e14", "events": 5000}]}"#).unwrap();
+        assert!(compare(&base, &other, &CompareConfig::default()).is_err());
+    }
+
+    #[test]
+    fn event_count_growth_beyond_tolerance_fails() {
+        let base = report(20_000.0, 25_000.0, 5_000.0);
+        let bloated = report(20_000.0, 25_000.0, 9_000.0);
+        let rep = compare(&base, &bloated, &CompareConfig::default()).unwrap();
+        assert!(!rep.passed());
+    }
+}

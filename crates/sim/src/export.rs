@@ -53,6 +53,9 @@ fn placement(kind: &EventKind) -> (u32, u32, String) {
             1 + output as u32,
             format!("\"input\": {input}, \"output\": {output}, \"bytes\": {bytes}"),
         ),
+        EventKind::CrossbarEnqueue { hub, input, bytes } => {
+            (hub_pid(hub), 200 + input as u32, format!("\"input\": {input}, \"bytes\": {bytes}"))
+        }
         EventKind::DmaStart { cab, channel, bytes }
         | EventKind::DmaComplete { cab, channel, bytes } => {
             (cab_pid(cab), TID_DMA, format!("\"channel\": {channel}, \"bytes\": {bytes}"))
@@ -61,15 +64,23 @@ fn placement(kind: &EventKind) -> (u32, u32, String) {
             (cab_pid(cab), TID_KERNEL, format!("\"from\": {from}, \"to\": {to}"))
         }
         EventKind::DatalinkRetry { cab } => (cab_pid(cab), TID_TRANSPORT, String::new()),
-        EventKind::TransportSend { cab, peer, seq, retransmit } => (
+        EventKind::FiberTx { cab, bytes } => {
+            (cab_pid(cab), TID_TRANSPORT, format!("\"bytes\": {bytes}"))
+        }
+        EventKind::TransportSend { cab, peer, seq, bytes, retransmit } => (
             cab_pid(cab),
             TID_TRANSPORT,
-            format!("\"peer\": {peer}, \"seq\": {seq}, \"retransmit\": {retransmit}"),
+            format!(
+                "\"peer\": {peer}, \"seq\": {seq}, \"bytes\": {bytes}, \
+                 \"retransmit\": {retransmit}"
+            ),
         ),
         EventKind::TransportAck { cab, peer, ack } => {
             (cab_pid(cab), TID_TRANSPORT, format!("\"peer\": {peer}, \"ack\": {ack}"))
         }
-        EventKind::TransportTimeout { cab } => (cab_pid(cab), TID_TRANSPORT, String::new()),
+        EventKind::TransportTimeout { cab, peer } => {
+            (cab_pid(cab), TID_TRANSPORT, format!("\"peer\": {peer}"))
+        }
         EventKind::AppSend { cab, dst, bytes } => {
             (cab_pid(cab), TID_APP, format!("\"dst\": {dst}, \"bytes\": {bytes}"))
         }
@@ -88,14 +99,20 @@ fn track_names(kind: &EventKind) -> (String, String) {
         EventKind::CrossbarForward { hub, output, .. } => {
             (format!("HUB {hub}"), format!("port {output} out"))
         }
+        EventKind::CrossbarEnqueue { hub, input, .. } => {
+            (format!("HUB {hub}"), format!("port {input} in"))
+        }
         EventKind::DmaStart { cab, .. } | EventKind::DmaComplete { cab, .. } => {
             (format!("CAB {cab}"), "dma".to_string())
         }
         EventKind::ThreadSwitch { cab, .. } => (format!("CAB {cab}"), "kernel".to_string()),
         EventKind::DatalinkRetry { cab }
+        | EventKind::FiberTx { cab, .. }
         | EventKind::TransportSend { cab, .. }
         | EventKind::TransportAck { cab, .. }
-        | EventKind::TransportTimeout { cab } => (format!("CAB {cab}"), "transport".to_string()),
+        | EventKind::TransportTimeout { cab, .. } => {
+            (format!("CAB {cab}"), "transport".to_string())
+        }
         EventKind::AppSend { cab, .. } | EventKind::AppRecv { cab, .. } => {
             (format!("CAB {cab}"), "app".to_string())
         }
@@ -261,7 +278,13 @@ mod tests {
     fn sample_events() -> Vec<TelemetryEvent> {
         vec![
             ev(0, 7, EventKind::AppSend { cab: 0, dst: 1, bytes: 100 }),
-            ev(500, 7, EventKind::TransportSend { cab: 0, peer: 1, seq: 0, retransmit: false }),
+            ev(
+                500,
+                7,
+                EventKind::TransportSend { cab: 0, peer: 1, seq: 0, bytes: 100, retransmit: false },
+            ),
+            ev(700, 7, EventKind::FiberTx { cab: 0, bytes: 102 }),
+            ev(800, 7, EventKind::CrossbarEnqueue { hub: 0, input: 3, bytes: 102 }),
             ev(900, 7, EventKind::DmaStart { cab: 0, channel: 1, bytes: 100 }),
             ev(1700, 7, EventKind::DmaComplete { cab: 0, channel: 1, bytes: 100 }),
             ev(2400, 7, EventKind::CrossbarForward { hub: 0, input: 3, output: 8, bytes: 102 }),

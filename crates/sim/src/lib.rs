@@ -15,6 +15,8 @@
 //! * [`metrics`] — the unified counter/gauge/histogram registry.
 //! * [`export`] — Chrome trace-event (Perfetto) JSON rendering.
 //! * [`json`] — string escaping and a small parser for export checks.
+//! * [`analysis`] — `nectar-doctor`: critical-path attribution,
+//!   pathology detection, and the perf-regression gate.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod engine;
 pub mod export;
 pub mod json;

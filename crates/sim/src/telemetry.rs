@@ -81,6 +81,18 @@ pub enum EventKind {
         /// Output port.
         output: u8,
     },
+    /// A packet's head byte entered a HUB input queue. Paired with the
+    /// same flight's [`CrossbarForward`](EventKind::CrossbarForward) on
+    /// the same HUB, the gap is that hop's **queue wait** — the edge
+    /// the doctor's head-of-line detector measures.
+    CrossbarEnqueue {
+        /// HUB number.
+        hub: u8,
+        /// Input port.
+        input: u8,
+        /// Wire bytes queued.
+        bytes: u32,
+    },
     /// The crossbar moved an item from an input queue to an output
     /// queue (one HUB hop of a flight, or a command/reply).
     CrossbarForward {
@@ -126,6 +138,16 @@ pub enum EventKind {
         /// CAB number.
         cab: u16,
     },
+    /// A packet began serializing onto a CAB's outgoing fiber — the
+    /// edge between datalink **transmit queueing** (flow-control and
+    /// burst-FIFO wait after `transport_send`) and **fiber
+    /// serialization**.
+    FiberTx {
+        /// Transmitting CAB.
+        cab: u16,
+        /// Wire bytes put on the fiber.
+        bytes: u32,
+    },
     /// A transport handed a packet to the datalink.
     TransportSend {
         /// Sending CAB.
@@ -134,6 +156,8 @@ pub enum EventKind {
         peer: u16,
         /// Transport sequence number.
         seq: u32,
+        /// Payload bytes (0 for control packets such as bare acks).
+        bytes: u32,
         /// `true` when this is a retransmission.
         retransmit: bool,
     },
@@ -150,6 +174,9 @@ pub enum EventKind {
     TransportTimeout {
         /// CAB whose timer expired.
         cab: u16,
+        /// Peer the timed-out protocol instance talks to
+        /// ([`u16::MAX`] when the protocol is not peer-scoped).
+        peer: u16,
     },
     /// An application asked a transport to send a message.
     AppSend {
@@ -177,7 +204,9 @@ impl EventKind {
         match self {
             EventKind::ConnectionOpen { .. } => "connection_open",
             EventKind::ConnectionClose { .. } => "connection_close",
+            EventKind::CrossbarEnqueue { .. } => "crossbar_enqueue",
             EventKind::CrossbarForward { .. } => "crossbar_forward",
+            EventKind::FiberTx { .. } => "fiber_tx",
             EventKind::DmaStart { .. } => "dma_start",
             EventKind::DmaComplete { .. } => "dma_complete",
             EventKind::ThreadSwitch { .. } => "thread_switch",
