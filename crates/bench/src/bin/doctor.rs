@@ -33,7 +33,7 @@ fn main() {
     let reg = registry();
     let selected: Vec<&str> =
         if ids.is_empty() { TRACEABLE.to_vec() } else { ids.iter().map(String::as_str).collect() };
-    let ctx = ExpCtx { metrics: true, trace: true };
+    let ctx = ExpCtx { metrics: true, trace: true, ..ExpCtx::off() };
     let mut criticals = 0usize;
     for id in &selected {
         let Some((_, desc, run)) = reg.iter().find(|(rid, _, _)| rid == id) else {

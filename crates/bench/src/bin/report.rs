@@ -22,6 +22,10 @@
 //! `--compare BASELINE` diffs this run's metrics against a committed
 //! baseline (`BENCH_baseline.json`) and exits non-zero on regression —
 //! the CI perf gate. Implies `--metrics`.
+//! `--chaos-seed N [--chaos-spec 'PROG']` replays one exact fault
+//! schedule through the chaos experiments (e25 family) — the flags a
+//! failing campaign test prints. Without `--chaos-spec` the schedule
+//! is regenerated from the seed.
 //!
 //! Every experiment builds its own world, so they are embarrassingly
 //! parallel: with `--jobs N` the registry is drained by `N` scoped
@@ -46,7 +50,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: report [--list] [--jobs N] [--json PATH] [--metrics] \
          [--doctor] [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
-         [ids... | all]"
+         [--chaos-seed N] [--chaos-spec PROG] [ids... | all]"
     );
     std::process::exit(2);
 }
@@ -61,9 +65,21 @@ fn main() {
     let mut compare_path: Option<String> = None;
     let mut trace_id: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_spec: Option<&'static str> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--chaos-seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                chaos_seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--chaos-spec" => {
+                // The ctx is Copy and crosses worker threads; the one
+                // spec string for this process can just leak.
+                chaos_spec =
+                    Some(Box::leak(args.next().unwrap_or_else(|| usage()).into_boxed_str()));
+            }
             "--list" | "list" => list = true,
             "--jobs" | "-j" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -113,7 +129,8 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let results = run_experiments(&selected, jobs, metrics, doctor, trace_id.as_deref());
+    let chaos = (chaos_seed, chaos_spec);
+    let results = run_experiments(&selected, jobs, metrics, doctor, trace_id.as_deref(), chaos);
     for r in &results {
         println!("{}", r.table);
     }
@@ -203,10 +220,13 @@ fn run_experiments(
     metrics: bool,
     doctor: bool,
     trace_id: Option<&str>,
+    chaos: (Option<u64>, Option<&'static str>),
 ) -> Vec<Outcome> {
     let ctx_for = |id: &str| ExpCtx {
         metrics,
         trace: trace_id == Some(id) || (doctor && TRACEABLE.contains(&id)),
+        chaos_seed: chaos.0,
+        chaos_spec: chaos.1,
     };
     if jobs <= 1 || selected.len() <= 1 {
         return selected

@@ -2,6 +2,7 @@
 //! evaluation, one function each. See DESIGN.md §4 for the index.
 
 pub mod apps_exp;
+pub mod chaos_exp;
 pub mod comparison;
 pub mod extensions;
 pub mod hub_level;
@@ -21,6 +22,14 @@ pub struct ExpCtx {
     pub metrics: bool,
     /// Capture the flight-recorder event stream for a Chrome trace.
     pub trace: bool,
+    /// Override the chaos experiments' fault-schedule seed
+    /// (`report --chaos-seed`): replay a campaign failure exactly.
+    pub chaos_seed: Option<u64>,
+    /// Override the fault program itself (`report --chaos-spec`,
+    /// the [`nectar_sim::chaos`] clause grammar). Used with
+    /// [`chaos_seed`](ExpCtx::chaos_seed); wins over the generated
+    /// schedule.
+    pub chaos_spec: Option<&'static str>,
 }
 
 impl ExpCtx {
@@ -65,7 +74,7 @@ pub type Experiment = (&'static str, &'static str, fn(&ExpCtx) -> Table);
 /// exporter validation in CI loop over exactly this list; an experiment
 /// that starts absorbing telemetry should be added here so its trace
 /// gets validated too (a registry test enforces the list stays honest).
-pub const TRACEABLE: &[&str] = &["e03", "e05", "e06", "e07", "e12", "e14"];
+pub const TRACEABLE: &[&str] = &["e03", "e05", "e06", "e07", "e12", "e14", "e25", "e25b", "e25c"];
 
 /// All experiments in DESIGN.md order.
 pub fn registry() -> Vec<Experiment> {
@@ -98,6 +107,9 @@ pub fn registry() -> Vec<Experiment> {
         ("e22", "heterogeneous nodes", extensions::e22_heterogeneity),
         ("e23", "distributed transactions", extensions::e23_transactions),
         ("e24", "automatic task mapping", extensions::e24_task_mapping),
+        ("e25", "chaos: byte streams", chaos_exp::e25_stream_chaos),
+        ("e25b", "chaos: request-response", chaos_exp::e25b_rpc_chaos),
+        ("e25c", "chaos: mesh", chaos_exp::e25c_mesh_chaos),
         ("abl", "design ablations", apps_exp::ablations),
     ]
 }
@@ -118,7 +130,7 @@ mod tests {
     #[test]
     fn traceable_experiments_produce_traces() {
         let reg = registry();
-        let ctx = ExpCtx { metrics: false, trace: true };
+        let ctx = ExpCtx { trace: true, ..ExpCtx::off() };
         for id in TRACEABLE {
             let (_, _, run) =
                 reg.iter().find(|(rid, _, _)| rid == id).expect("TRACEABLE id is registered");

@@ -10,6 +10,10 @@
 //!   wirings, routing, multicast trees.
 //! * [`world`] — the discrete-event world: HUB state machines, CAB
 //!   protocol engines, datalink policy, flow control, delivery records.
+//! * [`invariants`] — the transport-invariant checker: exactly-once
+//!   in-order delivery, at-most-once RPC execution, buffer-pool
+//!   conservation, counter coherence — audited at quiescence under
+//!   any chaos schedule.
 //! * [`node`] — the 1989 UNIX node cost model and the three CAB–node
 //!   interfaces of §6.2.3.
 //! * [`system`] — [`NectarSystem`](system::NectarSystem):
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod invariants;
 pub mod ipsc;
 pub mod mapping;
 pub mod nectarine;
@@ -48,6 +53,7 @@ pub use world::SystemConfig;
 
 /// The most frequently used names, for glob import.
 pub mod prelude {
+    pub use crate::invariants::{replay_line, InvariantChecker, Violation};
     pub use crate::ipsc::Ipsc;
     pub use crate::mapping::{
         map_annealed, map_greedy, map_round_robin, predicted_cost, Placement, TaskGraph,

@@ -26,6 +26,7 @@ use nectar_proto::transport::bytestream::{ByteStream, ByteStreamConfig};
 use nectar_proto::transport::datagram::Datagram;
 use nectar_proto::transport::reqresp::{ReqRespClient, ReqRespConfig, ReqRespServer};
 use nectar_proto::transport::{Action, TimerToken, TransportError};
+use nectar_sim::chaos::{ChaosInjector, ChaosSchedule, ChaosStats, Clause, Fault};
 use nectar_sim::engine::{Engine, EventId};
 use nectar_sim::metrics::{Histogram, MetricsRegistry};
 use nectar_sim::telemetry::{EventKind, FlightId, Telemetry, TelemetryEvent};
@@ -137,6 +138,15 @@ pub enum Ev {
     },
     /// An item's head reaches a CAB's fiber input.
     CabItem {
+        /// CAB index.
+        cab: usize,
+        /// The item.
+        item: Item,
+    },
+    /// A chaos-injected re-arrival (a duplicated or reorder-delayed
+    /// packet). Processed exactly like [`Ev::CabItem`] but bypasses the
+    /// injector, so chaos cannot cascade on its own products.
+    CabItemReplay {
         /// CAB index.
         cab: usize,
         /// The item.
@@ -257,6 +267,9 @@ pub struct CabCounters {
     pub packets_rx: u64,
     /// Received packets dropped for checksum/format errors.
     pub corrupted_rx: u64,
+    /// Received packets addressed to a different CAB (a stale
+    /// crossbar circuit duplicated them here) and discarded.
+    pub misrouted_rx: u64,
     /// Input-queue overruns (upcall missed its §6.2.1 deadline).
     pub overruns: u64,
     /// Stray items (commands/close-alls reaching the CAB).
@@ -309,10 +322,9 @@ pub struct World {
     pub errors: Vec<(usize, TransportError, Time)>,
     /// Replies received by CABs (circuit acks, status answers).
     replies: Vec<(usize, nectar_hub::command::Reply, Time)>,
-    /// Fault injection: packet loss/corruption at CAB arrival.
-    faults: Option<FaultInjector>,
-    /// Fault injection: HUB command loss in flight.
-    cmd_faults: Option<CommandFaultInjector>,
+    /// The compiled chaos schedule, consulted on every CAB packet
+    /// arrival and every HUB item arrival. `None` = a clean network.
+    chaos: Option<ChaosInjector>,
     /// Packets destroyed by fault injection.
     pub faults_injected: u64,
     /// Free-list of wire buffers (encode targets, reclaimed after
@@ -333,17 +345,6 @@ pub struct World {
     flight_births: HashMap<u64, Time>,
     /// Send-to-delivery latency per flight, nanoseconds.
     flight_latency: Histogram,
-}
-
-struct FaultInjector {
-    drop_probability: f64,
-    corrupt_probability: f64,
-    rng: nectar_sim::rng::Rng,
-}
-
-struct CommandFaultInjector {
-    drop_probability: f64,
-    rng: nectar_sim::rng::Rng,
 }
 
 impl World {
@@ -390,8 +391,7 @@ impl World {
             completions: Vec::new(),
             errors: Vec::new(),
             replies: Vec::new(),
-            faults: None,
-            cmd_faults: None,
+            chaos: None,
             faults_injected: 0,
             pool: BufPool::default(),
             batch: Vec::new(),
@@ -451,10 +451,11 @@ impl World {
         }
         for (c, cs) in self.cabs.iter().enumerate() {
             let k = cs.counters;
-            let fields: [(&str, u64); 9] = [
+            let fields: [(&str, u64); 10] = [
                 ("packets_tx", k.packets_tx),
                 ("packets_rx", k.packets_rx),
                 ("corrupted_rx", k.corrupted_rx),
+                ("misrouted_rx", k.misrouted_rx),
                 ("overruns", k.overruns),
                 ("strays", k.strays),
                 ("circuit_opens", k.circuit_opens),
@@ -476,13 +477,22 @@ impl World {
                 &format!("cab{c}.kernel.interrupt_busy_ns"),
                 cs.sched.interrupt_busy().nanos(),
             );
-            let (tx, rtx, tmo) = cs.streams.values().fold((0, 0, 0), |(a, b, t), s| {
-                let st = s.stats();
-                (a + st.data_sent, b + st.retransmissions, t + st.timeouts)
-            });
+            let (tx, rtx, tmo, acc, mism) =
+                cs.streams.values().fold((0, 0, 0, 0, 0), |(a, b, t, ac, m), s| {
+                    let st = s.stats();
+                    (
+                        a + st.data_sent,
+                        b + st.retransmissions,
+                        t + st.timeouts,
+                        ac + st.accepted,
+                        m + st.reassembly_mismatches,
+                    )
+                });
             reg.counter_add(&format!("cab{c}.transport.data_sent"), tx);
             reg.counter_add(&format!("cab{c}.transport.retransmissions"), rtx);
             reg.counter_add(&format!("cab{c}.transport.timeouts"), tmo);
+            reg.counter_add(&format!("cab{c}.transport.accepted"), acc);
+            reg.counter_add(&format!("cab{c}.transport.reassembly_mismatches"), mism);
             for mb in cs.mailboxes.values() {
                 reg.gauge_max("mailbox.capacity_bytes", mb.capacity() as f64);
             }
@@ -493,6 +503,16 @@ impl World {
             reg.gauge_max(&format!("cab{c}.mailbox.peak_bytes"), peak_bytes as f64);
             reg.gauge_max(&format!("cab{c}.mailbox.peak_depth"), peak_depth as f64);
             reg.gauge_max(&format!("cab{c}.fiber.utilization"), self.fiber_utilization(c));
+        }
+        if let Some(chaos) = self.chaos_stats() {
+            reg.counter_add("chaos.drops", chaos.drops);
+            reg.counter_add("chaos.burst_drops", chaos.burst_drops);
+            reg.counter_add("chaos.flap_drops", chaos.flap_drops);
+            reg.counter_add("chaos.duplicates", chaos.duplicates);
+            reg.counter_add("chaos.reorders", chaos.reorders);
+            reg.counter_add("chaos.corruptions", chaos.corruptions);
+            reg.counter_add("chaos.cmd_drops", chaos.cmd_drops);
+            reg.counter_add("chaos.port_drops", chaos.port_drops);
         }
         let pool = self.pool.stats();
         reg.counter_add("pool.hits", pool.hits);
@@ -511,10 +531,47 @@ impl World {
         reg
     }
 
+    /// Installs a chaos schedule, replacing any previous one (and any
+    /// clauses the [`inject_faults`](World::inject_faults) /
+    /// [`inject_command_loss`](World::inject_command_loss) wrappers
+    /// added). The compiled injector is consulted on every CAB packet
+    /// arrival and every HUB item arrival; same schedule + same
+    /// workload = byte-identical fault sequence.
+    pub fn set_chaos(&mut self, schedule: ChaosSchedule) {
+        self.chaos = Some(schedule.compile());
+    }
+
+    /// The active chaos schedule, if any (for replay lines).
+    pub fn chaos_schedule(&self) -> Option<&ChaosSchedule> {
+        self.chaos.as_ref().map(|c| c.schedule())
+    }
+
+    /// Applied-fault counters from the chaos injector.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.stats())
+    }
+
+    /// Appends `clause` to the active chaos schedule (seeding a fresh
+    /// schedule with `seed` if none is armed) and recompiles. Clause
+    /// RNG streams derive from the schedule seed and clause position,
+    /// so earlier clauses keep their draws.
+    fn add_chaos_clause(&mut self, seed: u64, clause: Clause) {
+        let schedule = match self.chaos.take() {
+            Some(inj) => inj.schedule().clone().with(clause),
+            None => ChaosSchedule::new(seed).with(clause),
+        };
+        self.chaos = Some(schedule.compile());
+    }
+
     /// Arms fault injection: arriving packets are dropped with
     /// `drop_probability` or bit-flipped with `corrupt_probability`
     /// (checksum-detected at the receiver), deterministically from
     /// `seed`. The transport protocols must recover (E10).
+    ///
+    /// Thin wrapper over the chaos subsystem: appends i.i.d.
+    /// [`Fault::Loss`] and [`Fault::Corrupt`] clauses. For anything
+    /// richer (bursts, duplication, reordering, flaps), build a
+    /// [`ChaosSchedule`] and call [`set_chaos`](World::set_chaos).
     ///
     /// # Panics
     ///
@@ -522,11 +579,8 @@ impl World {
     pub fn inject_faults(&mut self, drop_probability: f64, corrupt_probability: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&drop_probability), "probability in [0,1]");
         assert!((0.0..=1.0).contains(&corrupt_probability), "probability in [0,1]");
-        self.faults = Some(FaultInjector {
-            drop_probability,
-            corrupt_probability,
-            rng: nectar_sim::rng::Rng::seed_from(seed),
-        });
+        self.add_chaos_clause(seed, Clause::new(Fault::Loss { rate: drop_probability }));
+        self.add_chaos_clause(seed, Clause::new(Fault::Corrupt { rate: corrupt_probability }));
     }
 
     /// Arms HUB-command loss: each command item arriving at a HUB is
@@ -534,15 +588,16 @@ impl World {
     /// stuck-item and ready-timeout recovery paths must keep traffic
     /// flowing (§6.2.1).
     ///
+    /// Thin wrapper over the chaos subsystem (a
+    /// [`Fault::CommandLoss`] clause); see
+    /// [`set_chaos`](World::set_chaos).
+    ///
     /// # Panics
     ///
     /// Panics if the probability is outside `[0, 1]`.
     pub fn inject_command_loss(&mut self, drop_probability: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&drop_probability), "probability in [0,1]");
-        self.cmd_faults = Some(CommandFaultInjector {
-            drop_probability,
-            rng: nectar_sim::rng::Rng::seed_from(seed),
-        });
+        self.add_chaos_clause(seed, Clause::new(Fault::CommandLoss { rate: drop_probability }));
     }
 
     /// The system configuration.
@@ -628,6 +683,34 @@ impl World {
         self.cabs[src].streams.get(&dst).map(|s| s.stats())
     }
 
+    /// CABs that `src` has a byte-stream connection with (sorted).
+    pub fn stream_peers(&self, src: usize) -> Vec<usize> {
+        let mut peers: Vec<usize> = self.cabs[src].streams.keys().copied().collect();
+        peers.sort_unstable();
+        peers
+    }
+
+    /// `true` when every byte stream has drained (nothing in flight or
+    /// backlogged) and no RPC calls are outstanding — the transport
+    /// layer's part of the quiescence invariant.
+    pub fn transport_quiescent(&self) -> bool {
+        self.cabs.iter().all(|cs| {
+            cs.streams.values().all(|s| s.is_quiescent()) && cs.rpc_client.outstanding() == 0
+        })
+    }
+
+    /// RPC client counters for CAB `idx`: `(calls, responses,
+    /// timeouts, retransmissions)`.
+    pub fn rpc_client_stats(&self, idx: usize) -> (u64, u64, u64, u64) {
+        self.cabs[idx].rpc_client.stats()
+    }
+
+    /// RPC server counters for CAB `idx`: `(requests executed,
+    /// duplicate requests suppressed, cached replays)`.
+    pub fn rpc_server_stats(&self, idx: usize) -> (u64, u64, u64) {
+        self.cabs[idx].rpc_server.stats()
+    }
+
     // ---------------------------------------------------------------
     // Running
     // ---------------------------------------------------------------
@@ -671,6 +754,13 @@ impl World {
     /// Total events processed since construction.
     pub fn events_processed(&self) -> u64 {
         self.engine.events_delivered()
+    }
+
+    /// Total extra packet copies the HUBs emitted beyond one per
+    /// forward (multicast fan-out and stale circuit members); each is
+    /// a pool-less buffer share that will be returned downstream.
+    pub fn hub_fanout_copies(&self) -> u64 {
+        self.hubs.iter().map(|h| h.counters().fanout_copies).sum()
     }
 
     /// Wire-buffer pool counters (hit rate, reclaim success).
@@ -814,9 +904,18 @@ impl World {
         let now = self.engine.now();
         match ev {
             Ev::HubItem { hub, port, item } => {
-                if let (Item::Command(_), Some(f)) = (&item, &mut self.cmd_faults) {
-                    if f.rng.chance(f.drop_probability) {
+                if let Some(chaos) = &mut self.chaos {
+                    let is_command = matches!(item, Item::Command(_));
+                    let edge = matches!(self.topo.peer(hub, port), Peer::Cab(_));
+                    if chaos.on_hub_item(now, hub as u8, port.index() as u8, is_command, edge) {
+                        // The item dies at the HUB input port. Flow
+                        // control is NOT released — the sender's
+                        // ready-timeout (§6.2.1) recovers, exactly as
+                        // with a dead physical port.
                         self.faults_injected += 1;
+                        if let Item::Packet(p) = item {
+                            self.pool.reclaim(p.into_shared());
+                        }
                         return;
                     }
                 }
@@ -834,7 +933,8 @@ impl World {
                 self.hubs[hub].internal(now, ev, &mut fx);
                 self.apply_hub_effects(hub, fx);
             }
-            Ev::CabItem { cab, item } => self.cab_item(now, cab, item),
+            Ev::CabItem { cab, item } => self.cab_item(now, cab, item, false),
+            Ev::CabItemReplay { cab, item } => self.cab_item(now, cab, item, true),
             Ev::CabReadySignal { cab } => {
                 self.cabs[cab].fiber_ready = true;
                 self.cabs[cab].ready_gen += 1; // invalidate pending timeout
@@ -1207,7 +1307,11 @@ impl World {
             SwitchingMode::CircuitCached => {
                 let mut items = Vec::new();
                 let reopen = match &self.cabs[cab].open_circuit {
-                    Some((open_dst, _)) if *open_dst == dst => false,
+                    // A retransmission means packets are vanishing on
+                    // this path; the cached circuit (or its close-all,
+                    // leaving a stale member multicasting our data) is
+                    // suspect, so rebuild it from scratch.
+                    Some((open_dst, _)) if *open_dst == dst && !retransmit => false,
                     Some(_) => {
                         // Tear down the old circuit first: a CAB has one
                         // input port, a second circuit would multicast.
@@ -1333,29 +1437,56 @@ impl World {
     // CAB receive path
     // ---------------------------------------------------------------
 
-    fn cab_item(&mut self, now: Time, cab: usize, item: Item) {
-        let item = match (item, &mut self.faults) {
-            (Item::Packet(p), Some(f)) => {
-                if f.rng.chance(f.drop_probability) {
+    /// A wire item reaches a CAB's fiber input. `replay` marks items
+    /// the chaos injector itself produced (duplicates, delayed
+    /// originals); they bypass the injector so faults cannot cascade
+    /// on their own products.
+    fn cab_item(&mut self, now: Time, cab: usize, item: Item, replay: bool) {
+        let item = match (item, replay, &mut self.chaos) {
+            (Item::Packet(p), false, Some(chaos)) => {
+                let verdict = chaos.on_cab_packet(now, cab as u16, p.len());
+                let (hub, port) = self.topo.cab_attachment(cab);
+                let prop = self.cfg.propagation;
+                if verdict.drop {
                     // The packet vanishes; flow control must still be
-                    // released or the sender wedges.
+                    // released or the sender wedges, and the buffer
+                    // goes back to the pool.
                     self.faults_injected += 1;
-                    let (hub, port) = self.topo.cab_attachment(cab);
-                    let prop = self.cfg.propagation;
+                    self.pool.reclaim(p.into_shared());
                     self.engine.schedule_at(now + prop, Ev::HubReady { hub, port });
                     return;
                 }
-                if !p.is_empty() && f.rng.chance(f.corrupt_probability) {
-                    self.faults_injected += 1;
-                    let mut bytes = p.data().to_vec();
-                    let idx = f.rng.range(0..=(bytes.len() - 1) as u64) as usize;
-                    bytes[idx] ^= 1 << f.rng.range(0..=7);
-                    Item::Packet(Packet::new(p.id(), bytes))
-                } else {
-                    Item::Packet(p)
+                if verdict.duplicate {
+                    // The copy shares the original buffer (scheduled
+                    // before corruption replaces it) and re-enters via
+                    // the replay path so it cannot be faulted again.
+                    self.engine
+                        .schedule_at(now, Ev::CabItemReplay { cab, item: Item::Packet(p.clone()) });
                 }
+                let p = match verdict.corrupt {
+                    Some((idx, bit)) if !p.is_empty() => {
+                        self.faults_injected += 1;
+                        let mut bytes = p.data().to_vec();
+                        let idx = idx.min(bytes.len() - 1);
+                        bytes[idx] ^= 1 << (bit & 7);
+                        let id = p.id();
+                        self.pool.reclaim(p.into_shared());
+                        Packet::new(id, bytes)
+                    }
+                    _ => p,
+                };
+                if let Some(d) = verdict.delay {
+                    // Reordering: release the HUB port now so later
+                    // traffic overtakes, then deliver the original
+                    // after the extra delay.
+                    self.engine.schedule_at(now + prop, Ev::HubReady { hub, port });
+                    self.engine
+                        .schedule_at(now + d, Ev::CabItemReplay { cab, item: Item::Packet(p) });
+                    return;
+                }
+                Item::Packet(p)
             }
-            (item, _) => item,
+            (item, _, _) => item,
         };
         match item {
             Item::Packet(p) => {
@@ -1375,8 +1506,10 @@ impl World {
                     cs.hw.fiber.record_overrun();
                     cs.counters.overruns += 1;
                     // The queue overran; the packet is lost. Free the
-                    // flow-control path so the network is not wedged.
+                    // flow-control path so the network is not wedged,
+                    // and return the buffer to the pool.
                     self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
+                    self.pool.reclaim(p.into_shared());
                     return;
                 }
                 // The DMA drains the input queue concurrently with the
@@ -1429,6 +1562,17 @@ impl World {
             return;
         };
         let peer = header.src_cab.index();
+        if header.kind != PacketKind::Datagram && header.dst_cab.index() != cab {
+            // A crossbar circuit with a stale member (its close was
+            // lost in transit) duplicates packets to a CAB they were
+            // never addressed to. Feeding them into transport state
+            // would execute another CAB's RPCs or inject bytes into an
+            // unrelated stream; discard and count instead. Multicast
+            // datagrams are exempt: their dst field is advisory.
+            self.cabs[cab].counters.misrouted_rx += 1;
+            self.pool.reclaim(payload);
+            return;
+        }
         if header.kind == PacketKind::Ack {
             self.telemetry.record(
                 now,

@@ -19,6 +19,9 @@ pub struct HubCounters {
     pub locks_acquired: u64,
     /// Packets forwarded through the crossbar (counted per input).
     pub packets_forwarded: u64,
+    /// Extra packet copies emitted when one input drove several
+    /// outputs at once (multicast fan-out or a stale circuit member).
+    pub fanout_copies: u64,
     /// Payload bytes forwarded through the crossbar.
     pub bytes_forwarded: u64,
     /// Reply symbols forwarded along reverse paths.
@@ -53,13 +56,14 @@ impl HubCounters {
     /// `hub0.`), so the harness reports from one registry instead of
     /// per-crate structs.
     pub fn register_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        let fields: [(&str, u64); 12] = [
+        let fields: [(&str, u64); 13] = [
             ("commands_executed", self.commands_executed),
             ("opens_succeeded", self.opens_succeeded),
             ("opens_failed", self.opens_failed),
             ("opens_retried", self.opens_retried),
             ("locks_acquired", self.locks_acquired),
             ("packets_forwarded", self.packets_forwarded),
+            ("fanout_copies", self.fanout_copies),
             ("bytes_forwarded", self.bytes_forwarded),
             ("replies_forwarded", self.replies_forwarded),
             ("replies_dropped", self.replies_dropped),
@@ -98,6 +102,6 @@ mod tests {
         c.register_into(&mut reg, "hub0.");
         assert_eq!(reg.counter("hub0.packets_forwarded"), 9);
         assert_eq!(reg.counter("hub0.bytes_forwarded"), 900);
-        assert_eq!(reg.counters().count(), 12);
+        assert_eq!(reg.counters().count(), 13);
     }
 }

@@ -391,6 +391,13 @@ impl Hub {
             .max(ready_at);
         let emit_at = start + self.cfg.transit;
         let is_packet = matches!(front.item, Item::Packet(_));
+        if is_packet && outs.len() > 1 {
+            // Every output beyond the first is an extra copy of the
+            // same buffer entering the network: multicast fan-out, or
+            // a stale circuit member left by a lost close. The pool
+            // conservation audit needs the count either way.
+            self.counters.fanout_copies += outs.len() as u64 - 1;
+        }
         for &out in &outs {
             self.ports[out.index()].out_busy_until = emit_at + wire;
             if is_packet {

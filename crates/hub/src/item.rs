@@ -69,6 +69,14 @@ impl Packet {
         Arc::clone(&self.data)
     }
 
+    /// Consumes the packet, yielding its buffer without bumping the
+    /// refcount — the terminal-drop path (fault injection, queue
+    /// overrun) hands this to the pool so destroyed packets still
+    /// conserve buffers.
+    pub fn into_shared(self) -> Arc<Vec<u8>> {
+        self.data
+    }
+
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
         self.data.len()

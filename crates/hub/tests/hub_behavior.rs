@@ -260,6 +260,33 @@ fn multicast_emits_on_all_outputs_in_lockstep() {
     assert_eq!(ports, vec![PortId::new(3), PortId::new(5)]);
 }
 
+#[test]
+fn fanout_counts_extra_copies_beyond_the_first_output() {
+    let mut hub = hub0();
+    drive(
+        &mut hub,
+        vec![
+            (0, 0, open(false, false, 3)),
+            (240, 0, open(false, false, 5)),
+            (480, 0, open(false, false, 7)),
+            (720, 0, packet(1, 32)),
+            (40_000, 0, packet(2, 32)),
+        ],
+        vec![],
+    );
+    // Three outputs per forward: two copies beyond the first, twice.
+    assert_eq!(hub.counters().fanout_copies, 4);
+    assert_eq!(hub.counters().packets_forwarded, 2);
+}
+
+#[test]
+fn unicast_forwards_count_no_fanout() {
+    let mut hub = hub0();
+    drive(&mut hub, vec![(0, 0, open(false, false, 3)), (240, 0, packet(1, 64))], vec![]);
+    assert_eq!(hub.counters().fanout_copies, 0);
+    assert_eq!(hub.counters().packets_forwarded, 1);
+}
+
 // ------------------------------------------------------------------
 // close all (§4.2.1)
 // ------------------------------------------------------------------

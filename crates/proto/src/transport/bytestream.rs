@@ -16,6 +16,20 @@ use nectar_sim::time::{Dur, Time};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// RFC 1982-style serial comparison: `a < b` in sequence space. Holds
+/// across u32 wraparound as long as the two numbers are within half the
+/// space of each other (the window is tiny by comparison).
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < (1 << 31)
+}
+
+/// Serial `a <= b`; see [`seq_lt`].
+#[inline]
+pub fn seq_leq(a: u32, b: u32) -> bool {
+    b.wrapping_sub(a) < (1 << 31)
+}
+
 /// Byte-stream tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ByteStreamConfig {
@@ -68,6 +82,17 @@ pub struct ByteStreamStats {
     pub dropped_out_of_order: u64,
     /// Retransmission-timer expiries that resent the window.
     pub timeouts: u64,
+    /// In-order data packets accepted (receiver side). At quiescence
+    /// this equals the peer's `data_sent`.
+    pub accepted: u64,
+    /// In-order packets whose fragment fields contradicted the
+    /// in-progress reassembly (corruption that survived the checksum);
+    /// the fragment is dropped and counted, never fatal.
+    pub reassembly_mismatches: u64,
+    /// Acks that closed the peer window to zero (sender side).
+    pub zero_window_stalls: u64,
+    /// Persist-timer probes sent while stalled on a zero window.
+    pub window_probes: u64,
 }
 
 /// One full-duplex byte-stream connection between `local` and `peer`.
@@ -179,16 +204,29 @@ impl ByteStream {
                 payload_len: payload.len() as u16,
                 ..Header::new(PacketKind::Data, self.local, self.peer)
             };
-            self.next_seq += 1;
+            self.next_seq = self.next_seq.wrapping_add(1);
             self.backlog.push_back(Outgoing { header, payload });
         }
-        self.msg_last_seq.push_back((msg_id, self.next_seq - 1));
+        self.msg_last_seq.push_back((msg_id, self.next_seq.wrapping_sub(1)));
         self.pump(now, out);
         msg_id
     }
 
     fn effective_window(&self) -> usize {
-        self.cfg.window.min(self.peer_window.max(1)) as usize
+        // A zero advertisement really means zero: the sender stalls and
+        // the persist timer (not new data) probes for a reopen.
+        if self.peer_window == 0 {
+            0
+        } else {
+            self.cfg.window.min(self.peer_window) as usize
+        }
+    }
+
+    /// `true` when the peer closed its window while data is waiting:
+    /// nothing in flight to trigger an ack, so only a persist-timer
+    /// probe can discover the reopen.
+    fn stalled_on_zero_window(&self) -> bool {
+        self.inflight.is_empty() && !self.backlog.is_empty() && self.effective_window() == 0
     }
 
     fn pump(&mut self, _now: Time, out: &mut Vec<Action>) {
@@ -205,6 +243,10 @@ impl ByteStream {
         }
         if was_idle && !self.inflight.is_empty() {
             self.arm_timer(out);
+        } else if !self.timer_active && self.stalled_on_zero_window() {
+            // Queued into a closed window with nothing in flight: the
+            // persist timer is the only way forward.
+            self.arm_timer(out);
         }
     }
 
@@ -214,8 +256,20 @@ impl ByteStream {
         // Exponential backoff: consecutive timeouts without progress
         // stretch the timer so a congested (but healthy) path does not
         // amplify its own queueing into a retransmission storm.
-        let delay = self.cfg.rto * (1u64 << self.backoff.min(6));
-        out.push(Action::SetTimer { token: TimerToken(self.timer_gen), delay });
+        let base = self.cfg.rto * (1u64 << self.backoff.min(6));
+        // Jitter (up to ~25% of the base, deterministic) keeps the
+        // retransmission clock from phase-locking with any periodic
+        // outage on the path: once the backoff caps, an unjittered
+        // timer whose fixed period is a multiple of the outage period
+        // retries at the same dead phase forever, turning a recoverable
+        // link flap into a permanent stall. Hashing the timer
+        // generation and endpoint ids keeps runs reproducible.
+        let h = self
+            .timer_gen
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((self.local.raw() as u64) << 32) ^ self.peer.raw() as u64);
+        let jitter = Dur::from_nanos(base.nanos() / 1024 * (h >> 56));
+        out.push(Action::SetTimer { token: TimerToken(self.timer_gen), delay: base + jitter });
     }
 
     fn stop_timer(&mut self, out: &mut Vec<Action>) {
@@ -246,7 +300,8 @@ impl ByteStream {
 
     fn on_data(&mut self, header: &Header, payload: &[u8], out: &mut Vec<Action>) {
         if header.seq == self.expected {
-            self.expected += 1;
+            self.expected = self.expected.wrapping_add(1);
+            self.stats.accepted += 1;
             match self.reasm.push(header.msg_id, header.frag_index, header.frag_count, payload) {
                 ReassemblyOutcome::Complete(buf) => {
                     self.stats.delivered += 1;
@@ -257,12 +312,15 @@ impl ByteStream {
                 }
                 ReassemblyOutcome::Incomplete => {}
                 ReassemblyOutcome::Mismatch => {
-                    // In-order delivery makes this unreachable short of a
-                    // sender bug; surface loudly in debug builds.
-                    debug_assert!(false, "reassembly mismatch on in-order stream");
+                    // Fragment fields contradict the in-progress
+                    // reassembly: corruption that survived the checksum
+                    // (chaos can flip header bits) or a sender bug. The
+                    // fragment is dropped and counted; the world
+                    // surfaces the counter to the pathology detectors.
+                    self.stats.reassembly_mismatches += 1;
                 }
             }
-        } else if header.seq < self.expected {
+        } else if seq_lt(header.seq, self.expected) {
             self.stats.duplicates += 1;
         } else {
             self.stats.dropped_out_of_order += 1;
@@ -272,26 +330,42 @@ impl ByteStream {
     }
 
     fn on_ack(&mut self, now: Time, header: &Header, out: &mut Vec<Action>) {
-        if header.window > 0 {
-            self.peer_window = header.window;
+        // The advertisement is honored even at zero (the stall case) —
+        // a receiver must be able to close the window.
+        let was_closed = self.peer_window == 0;
+        if header.window == 0 && !was_closed {
+            self.stats.zero_window_stalls += 1;
         }
-        if header.ack <= self.base {
-            return; // duplicate ack; the timer covers recovery
-        }
-        while self.inflight.front().is_some_and(|pkt| pkt.header.seq < header.ack) {
-            self.inflight.pop_front();
-        }
-        self.base = header.ack;
-        self.backoff = 0; // progress: reset the retransmission backoff
-                          // Completion callbacks for fully acknowledged messages.
-        while self.msg_last_seq.front().is_some_and(|&(_, last)| last < self.base) {
-            let (msg_id, _) = self.msg_last_seq.pop_front().expect("front exists");
-            self.stats.completed += 1;
-            out.push(Action::Complete { msg_id });
+        self.peer_window = header.window;
+        if seq_leq(header.ack, self.base) {
+            // No new data acknowledged. A reopening advertisement on a
+            // duplicate ack still matters: the stalled backlog must
+            // flow again. Anything else is covered by the timer.
+            if !(was_closed && header.window > 0) {
+                return;
+            }
+        } else {
+            while self.inflight.front().is_some_and(|pkt| seq_lt(pkt.header.seq, header.ack)) {
+                self.inflight.pop_front();
+            }
+            self.base = header.ack;
+            self.backoff = 0; // progress: reset the retransmission backoff
+                              // Completion callbacks for fully acknowledged messages.
+            while self.msg_last_seq.front().is_some_and(|&(_, last)| seq_lt(last, self.base)) {
+                let (msg_id, _) = self.msg_last_seq.pop_front().expect("front exists");
+                self.stats.completed += 1;
+                out.push(Action::Complete { msg_id });
+            }
         }
         self.pump(now, out);
         if self.inflight.is_empty() {
-            self.stop_timer(out);
+            if self.stalled_on_zero_window() {
+                // Nothing in flight to draw an ack: keep the persist
+                // timer running so the reopen cannot be lost.
+                self.arm_timer(out);
+            } else {
+                self.stop_timer(out);
+            }
         } else {
             self.arm_timer(out);
         }
@@ -303,10 +377,31 @@ impl ByteStream {
         if !self.timer_active || token.0 != self.timer_gen {
             return;
         }
-        // Go-back-N: resend the whole window.
-        if !self.inflight.is_empty() {
-            self.stats.timeouts += 1;
+        if self.inflight.is_empty() {
+            if self.stalled_on_zero_window() {
+                // Persist probe (the TCP zero-window probe, §6.2.2's
+                // flow control turned all the way down): send one
+                // packet from the backlog to solicit a fresh
+                // advertisement. Without this the stall deadlocks when
+                // the reopening ack is lost.
+                let pkt = self.backlog.pop_front().expect("stalled implies backlog");
+                out.push(Action::Send {
+                    header: pkt.header,
+                    payload: pkt.payload.clone(),
+                    retransmit: false,
+                });
+                self.stats.data_sent += 1;
+                self.stats.window_probes += 1;
+                self.inflight.push_back(pkt);
+                self.backoff += 1; // probes back off like retransmits
+                self.arm_timer(out);
+            } else {
+                self.timer_active = false;
+            }
+            return;
         }
+        // Go-back-N: resend the whole window.
+        self.stats.timeouts += 1;
         for pkt in &self.inflight {
             out.push(Action::Send {
                 header: pkt.header,
@@ -315,19 +410,31 @@ impl ByteStream {
             });
             self.stats.retransmissions += 1;
         }
-        if self.inflight.is_empty() {
-            self.timer_active = false;
-        } else {
-            self.backoff += 1;
-            self.arm_timer(out);
-        }
+        self.backoff += 1;
+        self.arm_timer(out);
+    }
+
+    /// Positions the sequence space at `seq` on both the sender
+    /// (`next_seq`, `base`) and receiver (`expected`) sides, so tests
+    /// can exercise u32 wraparound without sending 2^32 packets. Only
+    /// meaningful on an idle stream; both endpoints of a connection
+    /// must be preseeded identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has traffic queued or in flight.
+    pub fn preseed_seq(&mut self, seq: u32) {
+        assert!(self.is_quiescent(), "preseed_seq requires an idle stream");
+        self.next_seq = seq;
+        self.base = seq;
+        self.expected = seq;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::deliveries;
+    use crate::transport::{deliveries, sends};
 
     /// A deterministic lossy channel harness between two endpoints.
     /// `drop_sends` lists global send indices (0-based, across both
@@ -534,6 +641,218 @@ mod tests {
         tx.on_timer(Time::from_millis(1), token, &mut out3);
         assert!(out3.is_empty(), "stale timer retransmitted: {out3:?}");
         assert_eq!(tx.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn serial_arithmetic_orders_across_wrap() {
+        assert!(seq_lt(u32::MAX, 0), "MAX precedes 0 in sequence space");
+        assert!(seq_lt(u32::MAX - 3, u32::MAX));
+        assert!(seq_lt(0, 1));
+        assert!(!seq_lt(0, u32::MAX), "0 does not precede MAX");
+        assert!(!seq_lt(5, 5));
+        assert!(seq_leq(5, 5));
+        assert!(seq_leq(u32::MAX, 1));
+    }
+
+    #[test]
+    fn stream_survives_sequence_wraparound() {
+        // Seed both endpoints three packets shy of u32::MAX: the third
+        // message's fragments straddle the wrap. Before the serial-
+        // arithmetic fix this panicked in debug (`next_seq += 1`
+        // overflow) and misclassified post-wrap packets as duplicates.
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![]);
+        h.a.preseed_seq(u32::MAX - 3);
+        h.b.preseed_seq(u32::MAX - 3);
+        let msgs: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 2500]).collect();
+        let ids: Vec<u32> = msgs.iter().map(|m| h.send(m)).collect();
+        h.run_to_quiescence();
+        assert_eq!(h.completed, ids, "every message completes across the wrap");
+        assert_eq!(h.delivered.len(), 4);
+        for (i, (_, msg)) in h.delivered.iter().enumerate() {
+            assert_eq!(msg.data(), &msgs[i][..], "message {i} intact");
+        }
+        assert_eq!(h.b.stats().duplicates, 0, "no post-wrap packet misread as duplicate");
+    }
+
+    #[test]
+    fn wraparound_with_loss_still_delivers_exactly_once() {
+        // Drop the first data packet (the last pre-wrap sequence
+        // number) and an ack: recovery must work across the boundary.
+        let mut h = Harness::new(ByteStreamConfig::default(), vec![0, 4]);
+        h.a.preseed_seq(u32::MAX);
+        h.b.preseed_seq(u32::MAX);
+        let data: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
+        let id = h.send(&data);
+        h.run_to_quiescence();
+        assert_eq!(h.completed, vec![id]);
+        assert_eq!(h.delivered.len(), 1, "exactly once");
+        assert_eq!(h.delivered[0].1.data(), &data[..]);
+        assert!(h.a.stats().retransmissions > 0, "the loss was actually recovered");
+    }
+
+    #[test]
+    fn zero_window_stalls_then_probe_reopens() {
+        // Window 4, six fragments: four fly, two stall in the backlog.
+        let cfg = ByteStreamConfig { window: 4, ..ByteStreamConfig::default() };
+        let mut tx = ByteStream::new(CabId::new(0), CabId::new(1), cfg);
+        let mut out = Vec::new();
+        tx.send_message(Time::ZERO, 1, 2, &vec![7u8; 5000], &mut out);
+        assert_eq!(sends(&out).len(), 4);
+        // The receiver acks everything in flight and slams the window
+        // shut. Before the fix the zero advertisement was ignored and
+        // the backlog poured out here.
+        let closed = Header {
+            ack: 4,
+            window: 0,
+            ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0))
+        };
+        let mut out2 = Vec::new();
+        tx.on_packet(Time::ZERO, &closed, &[], &mut out2);
+        assert!(sends(&out2).is_empty(), "window closed: the backlog must stall");
+        assert_eq!(tx.stats().zero_window_stalls, 1);
+        assert_eq!(tx.inflight(), 0);
+        let persist = out2
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("persist timer armed while stalled");
+        // The persist timer fires: exactly one probe packet flies.
+        let mut out3 = Vec::new();
+        tx.on_timer(Time::from_millis(5), persist, &mut out3);
+        assert_eq!(sends(&out3).len(), 1, "one probe, not the whole backlog");
+        assert_eq!(tx.stats().window_probes, 1);
+        // The probe is acked with the window still closed: stall holds,
+        // persist timer stays alive.
+        let still_closed = Header {
+            ack: 5,
+            window: 0,
+            ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0))
+        };
+        let mut out4 = Vec::new();
+        tx.on_packet(Time::from_millis(5), &still_closed, &[], &mut out4);
+        assert!(sends(&out4).is_empty());
+        assert!(
+            out4.iter().any(|a| matches!(a, Action::SetTimer { .. })),
+            "persist timer re-armed: {out4:?}"
+        );
+        // The window reopens on a duplicate ack (no new data acked):
+        // the stalled fragment must flow immediately.
+        let reopen = Header {
+            ack: 5,
+            window: 4,
+            ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0))
+        };
+        let mut out5 = Vec::new();
+        tx.on_packet(Time::from_millis(6), &reopen, &[], &mut out5);
+        assert_eq!(sends(&out5).len(), 1, "reopen releases the backlog");
+        // Final ack completes the message.
+        let fin = Header {
+            ack: 6,
+            window: 4,
+            ..Header::new(PacketKind::Ack, CabId::new(1), CabId::new(0))
+        };
+        let mut out6 = Vec::new();
+        tx.on_packet(Time::from_millis(7), &fin, &[], &mut out6);
+        assert!(out6.iter().any(|a| matches!(a, Action::Complete { .. })));
+        assert!(tx.is_quiescent());
+    }
+
+    #[test]
+    fn reassembly_mismatch_is_counted_not_fatal() {
+        let mut rx = ByteStream::new(CabId::new(1), CabId::new(0), ByteStreamConfig::default());
+        let mut out = Vec::new();
+        // Fragment 0 of a two-fragment message arrives in order.
+        let h0 = Header {
+            src_mailbox: 1,
+            dst_mailbox: 2,
+            msg_id: 0,
+            frag_index: 0,
+            frag_count: 2,
+            seq: 0,
+            window: 8,
+            payload_len: 2,
+            ..Header::new(PacketKind::Data, CabId::new(0), CabId::new(1))
+        };
+        rx.on_packet(Time::ZERO, &h0, b"aa", &mut out);
+        // The next in-order packet claims a different message id
+        // mid-reassembly — corruption that survived the checksum.
+        // Before the fix this was debug_assert!(false): a guaranteed
+        // abort of debug builds on a reachable path.
+        let h1 = Header { msg_id: 9, frag_index: 1, seq: 1, ..h0 };
+        let mut out2 = Vec::new();
+        rx.on_packet(Time::ZERO, &h1, b"bb", &mut out2);
+        assert_eq!(rx.stats().reassembly_mismatches, 1);
+        assert_eq!(rx.stats().delivered, 0, "the mangled message is not delivered");
+        assert!(
+            out2.iter().any(
+                |a| matches!(a, Action::Send { header, .. } if header.kind == PacketKind::Ack)
+            ),
+            "the ack still flows so the sender is not wedged"
+        );
+    }
+
+    /// Regression: an unjittered retransmission timer phase-locks with
+    /// a periodic outage. With `rto = 5ms` every backoff step (5, 10,
+    /// 20, ... 320ms) is a multiple of the 2.5ms outage period below,
+    /// so every retransmit used to land in the same 1.5ms down-window
+    /// forever and one recoverable flap became a permanent stall
+    /// (found by the chaos campaign: seed 707, `flap(1500us,1ms)`).
+    /// The deterministic jitter in `arm_timer` breaks the lock.
+    #[test]
+    fn capped_backoff_does_not_phase_lock_with_periodic_outage() {
+        let outage = |t: Time| t.nanos() % 2_500_000 < 1_500_000;
+        let cfg = ByteStreamConfig { rto: Dur::from_millis(5), ..Default::default() };
+        let mut a = ByteStream::new(CabId::new(0), CabId::new(1), cfg);
+        let mut b = ByteStream::new(CabId::new(1), CabId::new(0), cfg);
+        let mut now = Time::ZERO;
+        let mut timers: Vec<(Time, usize, TimerToken)> = Vec::new();
+        let mut pending: Vec<(usize, Action)> = Vec::new();
+        let mut out = Vec::new();
+        a.send_message(now, 1, 2, &[7u8; 300], &mut out);
+        pending.extend(out.into_iter().map(|x| (0usize, x)));
+        let mut delivered = 0usize;
+        let mut guard = 0;
+        while !(pending.is_empty() && a.is_quiescent() && b.is_quiescent()) {
+            guard += 1;
+            assert!(guard < 5_000, "phase-locked: no convergence after {:?}", now);
+            if let Some((from, action)) = pending.pop() {
+                match action {
+                    Action::Send { header, payload, .. } => {
+                        if outage(now) {
+                            continue; // the wire is down: packet destroyed
+                        }
+                        now += Dur::from_micros(10);
+                        let to = 1 - from;
+                        let mut out = Vec::new();
+                        let target = if to == 0 { &mut a } else { &mut b };
+                        target.on_packet(now, &header, &payload, &mut out);
+                        pending.extend(out.into_iter().map(|x| (to, x)));
+                    }
+                    Action::Deliver { .. } => delivered += 1,
+                    Action::SetTimer { token, delay } => timers.push((now + delay, from, token)),
+                    Action::CancelTimer { token } => {
+                        timers.retain(|&(_, ep, t)| !(ep == from && t == token));
+                    }
+                    Action::Complete { .. } | Action::Error(_) => {}
+                }
+                continue;
+            }
+            timers.sort_by_key(|&(t, _, _)| t);
+            assert!(!timers.is_empty(), "stuck with no timers at {now:?}");
+            let (at, ep, token) = timers.remove(0);
+            now = now.max(at);
+            let mut out = Vec::new();
+            let target = if ep == 0 { &mut a } else { &mut b };
+            target.on_timer(now, token, &mut out);
+            pending.extend(out.into_iter().map(|x| (ep, x)));
+        }
+        assert_eq!(
+            delivered, 1,
+            "exactly one delivery once the flap is survived (got {delivered} at {now:?})"
+        );
+        assert!(now < Time::from_millis(30_000), "took implausibly long: {now:?}");
     }
 
     #[test]

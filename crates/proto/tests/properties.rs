@@ -204,3 +204,89 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Request-response under duplication chaos: however many copies
+    /// of each request and response the wire delivers, the server
+    /// executes each transaction exactly once and the client delivers
+    /// each response exactly once (late copies are ignored).
+    #[test]
+    fn rpc_is_at_most_once_under_duplication(
+        calls in prop::collection::vec((0usize..3, 0usize..3, any::<bool>()), 1..16),
+    ) {
+        use nectar_proto::transport::reqresp::{ReqRespClient, ReqRespConfig, ReqRespServer};
+        use nectar_proto::transport::{deliveries, sends};
+
+        let mut client = ReqRespClient::new(CabId::new(0), ReqRespConfig::default());
+        let mut server = ReqRespServer::new(CabId::new(1), ReqRespConfig::default());
+        let now = Time::ZERO;
+        let mut extra_copies = 0u64;
+        let mut late_copies = 0u64;
+
+        for (i, &(req_extra, resp_extra, late_dup)) in calls.iter().enumerate() {
+            let req = vec![i as u8; 16 + i];
+            let mut call_out = Vec::new();
+            let tx = client.call(now, CabId::new(1), 5, 80, &req, &mut call_out);
+
+            // The wire hands the server 1 + req_extra copies of the
+            // request, back to back (dup while executing).
+            let mut srv_out = Vec::new();
+            for _ in 0..=req_extra {
+                for (h, p) in sends(&call_out) {
+                    server.on_packet(now, h, p, &mut srv_out);
+                }
+            }
+            extra_copies += req_extra as u64;
+            let handed = deliveries(&srv_out);
+            prop_assert_eq!(handed.len(), 1, "server app sees the request exactly once");
+            prop_assert_eq!(handed[0].1.data(), &req[..]);
+
+            // Application answers; the wire duplicates the response too.
+            let mut resp_out = Vec::new();
+            prop_assert!(server.respond(now, CabId::new(0), tx, &req, &mut resp_out));
+            let mut cli_out = Vec::new();
+            for _ in 0..=resp_extra {
+                for (h, p) in sends(&resp_out) {
+                    client.on_packet(now, h, p, &mut cli_out);
+                }
+            }
+            prop_assert_eq!(
+                deliveries(&cli_out).len(), 1,
+                "client delivers the response exactly once; late copies dropped"
+            );
+
+            // A straggler request copy after completion replays the
+            // cached response without re-executing.
+            if late_dup {
+                let mut replay_out = Vec::new();
+                for (h, p) in sends(&call_out) {
+                    server.on_packet(now, h, p, &mut replay_out);
+                }
+                extra_copies += 1;
+                late_copies += 1;
+                prop_assert!(deliveries(&replay_out).is_empty(), "no re-execution");
+                let replayed = sends(&replay_out);
+                prop_assert_eq!(replayed.len(), 1, "cached response is replayed");
+                // The client already completed tx: the replayed copy
+                // must be ignored.
+                let mut ignored = Vec::new();
+                for (h, p) in replayed {
+                    client.on_packet(now, h, p, &mut ignored);
+                }
+                prop_assert!(deliveries(&ignored).is_empty(), "late response ignored");
+            }
+        }
+
+        let (executed, dup_requests, replays) = server.stats();
+        let (issued, responses, timeouts, _) = client.stats();
+        prop_assert_eq!(executed, calls.len() as u64, "exactly-once execution per unique request");
+        prop_assert_eq!(issued, calls.len() as u64);
+        prop_assert_eq!(responses, calls.len() as u64);
+        prop_assert_eq!(timeouts, 0);
+        prop_assert_eq!(dup_requests, extra_copies, "every extra copy was suppressed");
+        prop_assert_eq!(replays, late_copies, "post-completion copies replay from the cache");
+        prop_assert_eq!(client.outstanding(), 0);
+    }
+}

@@ -38,7 +38,8 @@ impl fmt::Display for Severity {
 #[derive(Clone, Debug)]
 pub struct Finding {
     /// Which rule fired (stable identifier: `retransmit_storm`,
-    /// `head_of_line`, `mailbox_saturation`, `silent_drops`).
+    /// `head_of_line`, `mailbox_saturation`, `reassembly_mismatch`,
+    /// `silent_drops`).
     pub detector: &'static str,
     /// How bad it is.
     pub severity: Severity,
@@ -126,6 +127,7 @@ pub fn detect(
     head_of_line(table, cfg, &mut findings);
     if let Some(m) = metrics {
         mailbox_saturation(m, cfg, &mut findings);
+        reassembly_mismatches(m, &mut findings);
     }
     silent_drops(table, cfg, &mut findings);
     findings.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.subject.cmp(&b.subject)));
@@ -291,6 +293,35 @@ fn mailbox_saturation(m: &MetricsRegistry, cfg: &DoctorConfig, out: &mut Vec<Fin
     }
 }
 
+/// In-order packets whose fragment fields contradicted the in-progress
+/// reassembly: corruption the checksum missed (or a protocol bug). The
+/// transport drops and counts these instead of panicking; any nonzero
+/// count deserves eyes, so there is no threshold.
+fn reassembly_mismatches(m: &MetricsRegistry, out: &mut Vec<Finding>) {
+    for (name, count) in m.counters() {
+        let Some(cab) = name.strip_prefix("cab").and_then(|r| {
+            r.strip_suffix(".transport.reassembly_mismatches").and_then(|c| c.parse::<usize>().ok())
+        }) else {
+            continue;
+        };
+        if count == 0 {
+            continue;
+        }
+        out.push(Finding {
+            detector: "reassembly_mismatch",
+            severity: Severity::Critical,
+            confident: true,
+            summary: format!(
+                "{count} in-order fragment(s) contradicted the in-progress reassembly \
+                 (corruption past the checksum, or a framing bug); dropped, sender retransmits"
+            ),
+            subject: format!("cab{cab} transport"),
+            window: None,
+            flights: Vec::new(),
+        });
+    }
+}
+
 /// Data flights that vanished: never delivered, never acked, never
 /// superseded by a retransmission, and old enough that "still in
 /// flight" is not an excuse.
@@ -434,6 +465,20 @@ mod tests {
         let mb = findings.iter().find(|f| f.detector == "mailbox_saturation").unwrap();
         assert_eq!(mb.severity, Severity::Critical);
         assert_eq!(mb.subject, "cab2 mailbox");
+    }
+
+    #[test]
+    fn reassembly_mismatch_is_flagged_from_metrics() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("cab3.transport.reassembly_mismatches", 2);
+        m.counter_add("cab1.transport.reassembly_mismatches", 0); // zero: quiet
+        let table = FlightTable::from_events(&[]);
+        let findings = detect(&table, Some(&m), &DoctorConfig::default());
+        let hits: Vec<_> =
+            findings.iter().filter(|f| f.detector == "reassembly_mismatch").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].subject, "cab3 transport");
+        assert_eq!(hits[0].severity, Severity::Critical);
     }
 
     #[test]

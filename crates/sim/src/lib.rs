@@ -17,6 +17,8 @@
 //! * [`json`] — string escaping and a small parser for export checks.
 //! * [`analysis`] — `nectar-doctor`: critical-path attribution,
 //!   pathology detection, and the perf-regression gate.
+//! * [`chaos`] — seeded, replayable fault schedules (loss, bursts,
+//!   duplication, reordering, corruption, flaps, port failure).
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod engine;
 pub mod export;
 pub mod json;
@@ -50,6 +53,7 @@ pub mod units;
 
 /// The most frequently used names, for glob import.
 pub mod prelude {
+    pub use crate::chaos::{ChaosInjector, ChaosSchedule, ChaosStats, ChaosTarget, Clause, Fault};
     pub use crate::engine::{Engine, EventId};
     pub use crate::metrics::{Histogram, MetricsRegistry};
     pub use crate::rng::Rng;
