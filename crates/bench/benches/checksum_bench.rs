@@ -1,0 +1,59 @@
+//! Microbenchmarks for the CAB checksum unit's software model: the
+//! word-at-a-time (SWAR) Fletcher-16 against a bytewise reference, at
+//! the packet sizes the simulator actually checksums (one op per
+//! packet encode and per packet decode, so this sits on the hot path
+//! of every data packet in every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nectar_cab::checksum::fletcher16;
+use std::hint::black_box;
+
+/// The textbook byte-at-a-time loop the SWAR version replaced, kept
+/// here so every run reports the speedup ratio alongside the absolute
+/// numbers.
+fn fletcher16_bytewise(data: &[u8]) -> u16 {
+    let mut s1: u32 = 0;
+    let mut s2: u32 = 0;
+    for chunk in data.chunks(5802) {
+        for &b in chunk {
+            s1 += b as u32;
+            s2 += s1;
+        }
+        s1 %= 255;
+        s2 %= 255;
+    }
+    ((s2 as u16) << 8) | s1 as u16
+}
+
+fn bench_fletcher16(c: &mut Criterion) {
+    // 64 B: a command-sized packet; 990 B: the default max payload
+    // under the 1 KB HUB queue; 8 KiB: a full stream segment burst.
+    for size in [64usize, 990, 8192] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        let mut g = c.benchmark_group("fletcher16");
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("swar", size), &data, |b, d| {
+            b.iter(|| black_box(fletcher16(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("bytewise", size), &data, |b, d| {
+            b.iter(|| black_box(fletcher16_bytewise(d)))
+        });
+        g.finish();
+    }
+}
+
+/// The two implementations must agree before the numbers mean
+/// anything; `cargo test --benches` runs this once as a smoke test.
+fn bench_agreement_guard(c: &mut Criterion) {
+    c.bench_function("fletcher16_agreement", |b| {
+        b.iter(|| {
+            let data: Vec<u8> = (0..4096).map(|i| (i * 131 + 17) as u8).collect();
+            for len in [0, 1, 7, 8, 9, 63, 990, 4096] {
+                assert_eq!(fletcher16(&data[..len]), fletcher16_bytewise(&data[..len]));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_fletcher16, bench_agreement_guard);
+criterion_main!(benches);

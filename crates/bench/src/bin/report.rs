@@ -6,8 +6,8 @@
 //! Usage:
 //!
 //! ```text
-//! report [--list] [--jobs N] [--json PATH] [--metrics] [--doctor]
-//!        [--compare BASELINE] [--trace EXP] [--trace-out PATH]
+//! report [--list] [--jobs N] [--shards N] [--json PATH] [--metrics]
+//!        [--doctor] [--compare BASELINE] [--trace EXP] [--trace-out PATH]
 //!        [ids... | all]
 //! ```
 //!
@@ -26,12 +26,17 @@
 //! schedule through the chaos experiments (e25 family) — the flags a
 //! failing campaign test prints. Without `--chaos-spec` the schedule
 //! is regenerated from the seed.
+//! `--shards N` runs the conservative-parallel experiments (the e26
+//! scale family) with the simulated world split across `N` shard
+//! threads (see DESIGN.md §11); other experiments ignore it.
 //!
 //! Every experiment builds its own world, so they are embarrassingly
 //! parallel: with `--jobs N` the registry is drained by `N` scoped
 //! worker threads claiming indices from an atomic counter. Output
-//! stays deterministic — tables are buffered and printed in registry
-//! order regardless of completion order.
+//! stays deterministic — each worker renders its table (which can be
+//! sizable under `--metrics`) to a string off the lock, and the main
+//! thread flushes everything once, in registry order, through a single
+//! locked stdout regardless of completion order.
 
 use nectar_bench::experiments::{ExpCtx, Experiment, TRACEABLE};
 use nectar_bench::registry;
@@ -43,20 +48,26 @@ use std::time::{Duration, Instant};
 struct Outcome {
     id: &'static str,
     table: Table,
+    /// The table pre-rendered in the worker thread: rendering touches
+    /// every row and metric, so under `--jobs` it happens off the main
+    /// thread and the flush is a single buffered write.
+    rendered: String,
     wall: Duration,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: report [--list] [--jobs N] [--json PATH] [--metrics] \
-         [--doctor] [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
-         [--chaos-seed N] [--chaos-spec PROG] [ids... | all]"
+        "usage: report [--list] [--jobs N] [--shards N] [--json PATH] \
+         [--metrics] [--doctor] [--compare BASELINE] [--trace EXP] \
+         [--trace-out PATH] [--chaos-seed N] [--chaos-spec PROG] \
+         [ids... | all]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut jobs: usize = 1;
+    let mut shards: usize = 1;
     let mut json_path = String::from("BENCH_sim.json");
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
@@ -85,6 +96,13 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 jobs = v.parse().unwrap_or_else(|_| usage());
                 if jobs == 0 {
+                    usage();
+                }
+            }
+            "--shards" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                shards = v.parse().unwrap_or_else(|_| usage());
+                if shards == 0 {
                     usage();
                 }
             }
@@ -130,9 +148,16 @@ fn main() {
         }
     }
     let chaos = (chaos_seed, chaos_spec);
-    let results = run_experiments(&selected, jobs, metrics, doctor, trace_id.as_deref(), chaos);
-    for r in &results {
-        println!("{}", r.table);
+    let results =
+        run_experiments(&selected, jobs, shards, metrics, doctor, trace_id.as_deref(), chaos);
+    {
+        // One write per run: the tables were rendered in the workers,
+        // so the flush never interleaves with anything.
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        for r in &results {
+            writeln!(out, "{}", r.rendered).expect("stdout write");
+        }
     }
     if doctor {
         print_doctor(&results);
@@ -146,7 +171,7 @@ fn main() {
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
-    let json = render_json(&results, jobs);
+    let json = render_json(&results, jobs, shards);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path} ({} experiments)", results.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
@@ -217,6 +242,7 @@ fn run_compare(baseline_path: &str, current_json: &str) -> bool {
 fn run_experiments(
     selected: &[Experiment],
     jobs: usize,
+    shards: usize,
     metrics: bool,
     doctor: bool,
     trace_id: Option<&str>,
@@ -227,16 +253,20 @@ fn run_experiments(
         trace: trace_id == Some(id) || (doctor && TRACEABLE.contains(&id)),
         chaos_seed: chaos.0,
         chaos_spec: chaos.1,
+        shards,
+    };
+    let execute = |id: &'static str, run: fn(&ExpCtx) -> Table| {
+        let t0 = Instant::now();
+        let table = run(&ctx_for(id));
+        let wall = t0.elapsed();
+        // Render while still on the worker: Display walks every row,
+        // note, and (under --metrics) histogram, and the result is the
+        // only thing main has to push through the stdout lock.
+        let rendered = table.to_string();
+        Outcome { id, table, rendered, wall }
     };
     if jobs <= 1 || selected.len() <= 1 {
-        return selected
-            .iter()
-            .map(|&(id, _, run)| {
-                let t0 = Instant::now();
-                let table = run(&ctx_for(id));
-                Outcome { id, table, wall: t0.elapsed() }
-            })
-            .collect();
+        return selected.iter().map(|&(id, _, run)| execute(id, run)).collect();
     }
     let slots: Mutex<Vec<Option<Outcome>>> =
         Mutex::new((0..selected.len()).map(|_| None).collect());
@@ -246,9 +276,7 @@ fn run_experiments(
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(id, _, run)) = selected.get(idx) else { break };
-                let t0 = Instant::now();
-                let table = run(&ctx_for(id));
-                let outcome = Outcome { id, table, wall: t0.elapsed() };
+                let outcome = execute(id, run);
                 slots.lock().expect("no worker panicked holding the lock")[idx] = Some(outcome);
             });
         }
@@ -277,10 +305,12 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders the per-experiment results as `BENCH_sim.json`: wall time,
-/// events processed, and events/sec for every experiment plus totals.
-fn render_json(results: &[Outcome], jobs: usize) -> String {
+/// events processed, events/sec, and table notes (the e26 speedup and
+/// determinism verdicts live there) for every experiment plus totals.
+fn render_json(results: &[Outcome], jobs: usize, shards: usize) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"shards\": {shards},\n"));
     let total_events: u64 = results.iter().map(|r| r.table.events).sum();
     let total_wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
     s.push_str(&format!("  \"total_events\": {total_events},\n"));
@@ -293,13 +323,21 @@ fn render_json(results: &[Outcome], jobs: usize) -> String {
             Some(m) => format!(", \"metrics\": {}", m.to_json()),
             None => String::new(),
         };
+        let notes = if r.table.notes.is_empty() {
+            String::new()
+        } else {
+            let quoted: Vec<String> =
+                r.table.notes.iter().map(|n| format!("\"{}\"", json_escape(n))).collect();
+            format!(", \"notes\": [{}]", quoted.join(", "))
+        };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}}}{}\n",
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}{}}}{}\n",
             json_escape(r.id),
             json_escape(&r.table.title),
             wall_s * 1e3,
             r.table.events,
             eps,
+            notes,
             metrics,
             if i + 1 < results.len() { "," } else { "" },
         ));

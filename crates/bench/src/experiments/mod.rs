@@ -7,10 +7,12 @@ pub mod comparison;
 pub mod extensions;
 pub mod hub_level;
 pub mod latency;
+pub mod scale;
 pub mod throughput;
 pub mod transport_exp;
 
 use crate::table::Table;
+use nectar_core::shard::ShardedWorld;
 use nectar_core::world::World;
 
 /// What the harness wants an experiment to collect beyond its table.
@@ -30,6 +32,11 @@ pub struct ExpCtx {
     /// [`chaos_seed`](ExpCtx::chaos_seed); wins over the generated
     /// schedule.
     pub chaos_spec: Option<&'static str>,
+    /// Shard count for the conservative-parallel experiments (the
+    /// `e26` scale family; `report --shards N`). `0` and `1` both mean
+    /// sequential execution; counts above a topology's HUB count are
+    /// clamped by the [`ShardPlan`](nectar_core::shard::ShardPlan).
+    pub shards: usize,
 }
 
 impl ExpCtx {
@@ -50,9 +57,31 @@ impl ExpCtx {
         }
     }
 
+    /// The effective shard count (`0` means "not set" → sequential).
+    pub fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
+
     /// Harvests a world into the table: metrics merge (so experiments
     /// driving several worlds accumulate), trace events append.
     pub fn absorb(&self, table: &mut Table, world: &World) {
+        if self.metrics {
+            let m = world.metrics();
+            match &mut table.metrics {
+                Some(t) => t.merge(&m),
+                None => table.metrics = Some(m),
+            }
+        }
+        if self.trace {
+            table.trace.extend(world.telemetry_events());
+        }
+    }
+
+    /// [`absorb`](ExpCtx::absorb) for a sharded world: identical
+    /// semantics, because the sharded metrics registry and the
+    /// canonically sorted telemetry stream are bit-identical to a
+    /// sequential run's (the determinism contract of DESIGN.md §11).
+    pub fn absorb_sharded(&self, table: &mut Table, world: &ShardedWorld) {
         if self.metrics {
             let m = world.metrics();
             match &mut table.metrics {
@@ -74,7 +103,8 @@ pub type Experiment = (&'static str, &'static str, fn(&ExpCtx) -> Table);
 /// exporter validation in CI loop over exactly this list; an experiment
 /// that starts absorbing telemetry should be added here so its trace
 /// gets validated too (a registry test enforces the list stays honest).
-pub const TRACEABLE: &[&str] = &["e03", "e05", "e06", "e07", "e12", "e14", "e25", "e25b", "e25c"];
+pub const TRACEABLE: &[&str] =
+    &["e03", "e05", "e06", "e07", "e12", "e14", "e25", "e25b", "e25c", "e26", "e26b"];
 
 /// All experiments in DESIGN.md order.
 pub fn registry() -> Vec<Experiment> {
@@ -110,6 +140,8 @@ pub fn registry() -> Vec<Experiment> {
         ("e25", "chaos: byte streams", chaos_exp::e25_stream_chaos),
         ("e25b", "chaos: request-response", chaos_exp::e25b_rpc_chaos),
         ("e25c", "chaos: mesh", chaos_exp::e25c_mesh_chaos),
+        ("e26", "scale: sharded fat-star", scale::e26_fat_star),
+        ("e26b", "scale: sharded 4x4 mesh", scale::e26b_mesh),
         ("abl", "design ablations", apps_exp::ablations),
     ]
 }

@@ -1,0 +1,188 @@
+//! E26 — conservative-parallel scale: one simulated Nectar on all
+//! cores, bit-identical to the sequential run.
+//!
+//! The paper's network is parallel in space: HUB clusters joined by
+//! fibers whose minimum transit latency lower-bounds cross-cluster
+//! influence. The `e26` family builds the two topologies where that
+//! structure is big enough to matter — an 8-leaf fat-star and a 4×4
+//! mesh, 64 CABs each — floods them with mostly cluster-local stream
+//! traffic, and runs the same workload on a
+//! [`ShardedWorld`](nectar_core::shard::ShardedWorld) at
+//! `report --shards N`.
+//!
+//! When `--shards` exceeds one, each experiment also runs the 1-shard
+//! reference in the same process, reports the speedup, and diffs the
+//! two metrics registries. A mismatch prints `DETERMINISM VIOLATED`
+//! in the table notes — CI greps for exactly that string, so a window
+//! protocol bug can never hide behind a good-looking speedup number.
+
+use crate::experiments::ExpCtx;
+use crate::table::Table;
+use nectar_core::prelude::*;
+use nectar_core::world::AppSend;
+use nectar_sim::time::Time;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Traffic rounds per run. Sized so a run is long enough to measure
+/// (about a million simulation events on the 64-CAB topologies) yet
+/// quick enough for CI.
+const ROUNDS: u64 = 24;
+
+/// A dense, schedule-upfront stream workload over `topo`: every CAB
+/// streams to a rotating neighbour on its own HUB each round, and
+/// every third CAB also streams to its counterpart half the system
+/// away (cross-HUB, and under sharding cross-shard). The mix mirrors
+/// the locality argument of the paper — most traffic stays inside a
+/// cluster, the backbone carries the rest — and gives every shard
+/// enough same-window work to amortize the barrier.
+fn scaled_workload(topo: &Topology) -> Vec<(Time, usize, AppSend)> {
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); topo.hub_count()];
+    for c in 0..topo.cab_count() {
+        clusters[topo.cab_attachment(c).0].push(c);
+    }
+    clusters.retain(|m| !m.is_empty());
+    let mut sends = Vec::new();
+    for round in 0..ROUNDS {
+        let at = Time::from_micros(3 + 15 * round);
+        for (ci, members) in clusters.iter().enumerate() {
+            for (mi, &src) in members.iter().enumerate() {
+                if members.len() > 1 {
+                    let dst = members[(mi + 1 + round as usize) % members.len()];
+                    if dst != src {
+                        let data: Arc<[u8]> =
+                            vec![(src as u64 * 13 + round) as u8; 640 + 96 * (round as usize % 3)]
+                                .into();
+                        sends.push((
+                            at,
+                            src,
+                            AppSend::Stream { dst, src_mailbox: 1, dst_mailbox: 40, data },
+                        ));
+                    }
+                }
+                if clusters.len() > 1 && mi % 3 == 0 {
+                    let far = &clusters[(ci + clusters.len() / 2) % clusters.len()];
+                    let dst = far[mi % far.len()];
+                    if dst != src {
+                        let data: Arc<[u8]> = vec![(src as u64 + 7 * round) as u8; 512].into();
+                        sends.push((
+                            at,
+                            src,
+                            AppSend::Stream { dst, src_mailbox: 1, dst_mailbox: 41, data },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    sends
+}
+
+/// One timed run of the workload at `shards` shards. Returns the
+/// events processed, the wall seconds, and the metrics JSON (the
+/// determinism fingerprint). Only the `absorb` run feeds the table's
+/// metrics/trace so a reference run never double-counts.
+fn timed_run(
+    topo: &Topology,
+    sends: &[(Time, usize, AppSend)],
+    shards: usize,
+    ctx: &ExpCtx,
+    table: &mut Table,
+    absorb: bool,
+) -> (u64, f64, String) {
+    let t0 = Instant::now();
+    let mut world = ShardedWorld::new(topo.clone(), SystemConfig::default(), shards);
+    if ctx.observing() {
+        world.enable_observability();
+    }
+    for (at, cab, send) in sends {
+        world.schedule_send(*at, *cab, send.clone());
+    }
+    let (events, _) = world.run_to_quiescence(Time::from_millis(100));
+    let wall = t0.elapsed().as_secs_f64();
+    let fingerprint = world.metrics().to_json();
+    assert!(
+        world.transport_quiescent(),
+        "{}: scale workload failed to drain — deadline too tight",
+        table.id
+    );
+    if absorb {
+        ctx.absorb_sharded(table, &world);
+    }
+    (events, wall, fingerprint)
+}
+
+/// Shared runner: main run at `ctx.shards`, plus (when parallel) the
+/// 1-shard reference, speedup note, and the determinism diff.
+fn run_scale(id: &'static str, title: &str, topo: Topology, ctx: &ExpCtx) -> Table {
+    let mut table =
+        Table::new(id, title.to_string(), &["config", "shards", "events", "wall", "events/sec"]);
+    let cabs = topo.cab_count();
+    let hubs = topo.hub_count();
+    let shards = ctx.shard_count().min(hubs);
+    let sends = scaled_workload(&topo);
+    let config = format!("{hubs} HUBs / {cabs} CABs / {} sends", sends.len());
+
+    let (events, wall, fingerprint) = timed_run(&topo, &sends, shards, ctx, &mut table, true);
+    table.record_events(events);
+    let eps = events as f64 / wall.max(1e-9);
+    table.row(&[
+        config.clone(),
+        shards.to_string(),
+        events.to_string(),
+        format!("{:.1} ms", wall * 1e3),
+        format!("{eps:.0}"),
+    ]);
+
+    if shards > 1 {
+        let (ref_events, ref_wall, ref_fingerprint) =
+            timed_run(&topo, &sends, 1, ctx, &mut table, false);
+        table.record_events(ref_events);
+        let ref_eps = ref_events as f64 / ref_wall.max(1e-9);
+        table.row(&[
+            config,
+            "1 (reference)".to_string(),
+            ref_events.to_string(),
+            format!("{:.1} ms", ref_wall * 1e3),
+            format!("{ref_eps:.0}"),
+        ]);
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        table.note(format!(
+            "speedup at {shards} shards: {:.2}x events/sec ({cores}-core host{})",
+            eps / ref_eps,
+            if cores < shards { "; shards oversubscribed, no speedup possible" } else { "" }
+        ));
+        if ref_events != events {
+            table.note(format!(
+                "DETERMINISM VIOLATED: {events} events at {shards} shards vs {ref_events} at 1"
+            ));
+        } else if fingerprint != ref_fingerprint {
+            table.note(format!(
+                "DETERMINISM VIOLATED: metrics registries differ between 1 and {shards} shards"
+            ));
+        } else {
+            table.note(format!("determinism: metrics bit-identical across 1 and {shards} shards"));
+        }
+    }
+    let lookahead = SystemConfig::default().hub.lookahead();
+    table.note(format!(
+        "conservative window: HubConfig::lookahead() = {} ns per round",
+        lookahead.nanos()
+    ));
+    table
+}
+
+/// E26: 8-leaf fat-star (a root HUB fanning out to 8 leaf HUBs, 8
+/// CABs each — 64 CABs). Leaf-local traffic dominates; the root
+/// carries the cross-leaf flows, exactly the shape where sharding by
+/// HUB cluster should pay.
+pub fn e26_fat_star(ctx: &ExpCtx) -> Table {
+    run_scale("e26", "scale: sharded fat-star (64 CABs)", Topology::fat_star(8, 8, 16), ctx)
+}
+
+/// E26b: 4×4 mesh of HUBs, 4 CABs each (64 CABs). The mesh has no
+/// privileged root, so cross-shard edges appear on every side of
+/// every contiguous block — the stress case for the window barrier.
+pub fn e26b_mesh(ctx: &ExpCtx) -> Table {
+    run_scale("e26b", "scale: sharded 4x4 mesh (64 CABs)", Topology::mesh2d(4, 4, 4, 16), ctx)
+}

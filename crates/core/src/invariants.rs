@@ -44,8 +44,91 @@
 //! assert!(violations.is_empty(), "{violations:?}");
 //! ```
 
+use crate::shard::ShardedWorld;
 use crate::world::World;
+use nectar_hub::pool::PoolStats;
+use nectar_kernel::mailbox::Message;
+use nectar_proto::transport::bytestream::ByteStreamStats;
+use nectar_sim::chaos::ChaosStats;
 use std::fmt;
+
+/// Everything the checker reads from a world, abstracted so the same
+/// audit runs against the sequential [`World`] and the
+/// conservative-parallel [`ShardedWorld`] — the determinism story
+/// (DESIGN.md §11) demands that both produce the same verdicts, and a
+/// shared audit path is how the differential tests state that.
+pub trait Auditable {
+    /// Takes the next message out of a mailbox (drains in audit order).
+    fn mailbox_take(&mut self, cab: usize, mailbox: u16) -> Option<Message>;
+    /// RPC server counters: `(executed, duplicates, replays)`.
+    fn rpc_server_stats(&self, idx: usize) -> (u64, u64, u64);
+    /// Wire-buffer pool counters, summed over every CAB pool.
+    fn pool_stats(&self) -> PoolStats;
+    /// Applied-fault counters, if chaos is armed.
+    fn chaos_stats(&self) -> Option<ChaosStats>;
+    /// Buffers destroyed at HUBs by chaos (freed, never reclaimed).
+    fn chaos_freed(&self) -> u64;
+    /// Extra packet copies emitted by HUB fan-out.
+    fn hub_fanout_copies(&self) -> u64;
+    /// `true` when streams have drained and no RPC is outstanding.
+    fn transport_quiescent(&self) -> bool;
+    /// Byte-stream statistics from `src` towards `dst`.
+    fn stream_stats(&self, src: usize, dst: usize) -> Option<ByteStreamStats>;
+}
+
+impl Auditable for World {
+    fn mailbox_take(&mut self, cab: usize, mailbox: u16) -> Option<Message> {
+        World::mailbox_take(self, cab, mailbox)
+    }
+    fn rpc_server_stats(&self, idx: usize) -> (u64, u64, u64) {
+        World::rpc_server_stats(self, idx)
+    }
+    fn pool_stats(&self) -> PoolStats {
+        World::pool_stats(self)
+    }
+    fn chaos_stats(&self) -> Option<ChaosStats> {
+        World::chaos_stats(self)
+    }
+    fn chaos_freed(&self) -> u64 {
+        World::chaos_freed(self)
+    }
+    fn hub_fanout_copies(&self) -> u64 {
+        World::hub_fanout_copies(self)
+    }
+    fn transport_quiescent(&self) -> bool {
+        World::transport_quiescent(self)
+    }
+    fn stream_stats(&self, src: usize, dst: usize) -> Option<ByteStreamStats> {
+        World::stream_stats(self, src, dst)
+    }
+}
+
+impl Auditable for ShardedWorld {
+    fn mailbox_take(&mut self, cab: usize, mailbox: u16) -> Option<Message> {
+        ShardedWorld::mailbox_take(self, cab, mailbox)
+    }
+    fn rpc_server_stats(&self, idx: usize) -> (u64, u64, u64) {
+        ShardedWorld::rpc_server_stats(self, idx)
+    }
+    fn pool_stats(&self) -> PoolStats {
+        ShardedWorld::pool_stats(self)
+    }
+    fn chaos_stats(&self) -> Option<ChaosStats> {
+        ShardedWorld::chaos_stats(self)
+    }
+    fn chaos_freed(&self) -> u64 {
+        ShardedWorld::chaos_freed(self)
+    }
+    fn hub_fanout_copies(&self) -> u64 {
+        ShardedWorld::hub_fanout_copies(self)
+    }
+    fn transport_quiescent(&self) -> bool {
+        ShardedWorld::transport_quiescent(self)
+    }
+    fn stream_stats(&self, src: usize, dst: usize) -> Option<ByteStreamStats> {
+        ShardedWorld::stream_stats(self, src, dst)
+    }
+}
 
 /// One expected byte-stream delivery.
 #[derive(Clone, Debug)]
@@ -106,7 +189,9 @@ pub enum Violation {
         /// corruption-replacement buffer adds one reclaim attempt
         /// that had no pool acquisition).
         acquired: u64,
-        /// `pool.reclaims + pool.dropped`.
+        /// `pool.reclaims + pool.dropped + chaos_freed` (buffers a
+        /// hub-side chaos drop destroyed never reach any pool — they
+        /// are freed straight to the allocator and counted apart).
         returned: u64,
     },
     /// Sender- and receiver-side counters disagree at quiescence.
@@ -187,7 +272,8 @@ impl InvariantChecker {
     /// quiescence (after [`run_to_quiescence`](World::run_to_quiescence)
     /// or a generous [`run_until`](World::run_until)); an empty vec
     /// means every invariant held. Drains the expected mailboxes.
-    pub fn check(&mut self, world: &mut World) -> Vec<Violation> {
+    /// Accepts any [`Auditable`] world — sequential or sharded.
+    pub fn check<A: Auditable>(&mut self, world: &mut A) -> Vec<Violation> {
         let mut violations = Vec::new();
         self.check_streams(world, &mut violations);
         self.check_rpc(world, &mut violations);
@@ -197,7 +283,7 @@ impl InvariantChecker {
     }
 
     /// Invariant 1: exactly-once in-order byte-identical delivery.
-    fn check_streams(&self, world: &mut World, violations: &mut Vec<Violation>) {
+    fn check_streams<A: Auditable>(&self, world: &mut A, violations: &mut Vec<Violation>) {
         let mut flows: Vec<(usize, u16)> = Vec::new();
         for e in &self.streams {
             if !flows.contains(&(e.dst, e.mailbox)) {
@@ -236,7 +322,7 @@ impl InvariantChecker {
     }
 
     /// Invariant 2: at-most-once execution per RPC transaction.
-    fn check_rpc(&self, world: &World, violations: &mut Vec<Violation>) {
+    fn check_rpc<A: Auditable>(&self, world: &A, violations: &mut Vec<Violation>) {
         for &(server, issued) in &self.rpc_issued {
             let (executed, _dups, _replays) = world.rpc_server_stats(server);
             if executed > issued {
@@ -254,7 +340,7 @@ impl InvariantChecker {
     /// circuit member left behind by a lost close — emits one more
     /// shared copy of the buffer, and every copy is returned exactly
     /// once wherever it terminates.
-    fn check_pool(&self, world: &World, violations: &mut Vec<Violation>) {
+    fn check_pool<A: Auditable>(&self, world: &A, violations: &mut Vec<Violation>) {
         let pool = world.pool_stats();
         let chaos = world.chaos_stats().unwrap_or_default();
         let acquired = pool.hits
@@ -262,14 +348,17 @@ impl InvariantChecker {
             + chaos.duplicates
             + chaos.corruptions
             + world.hub_fanout_copies();
-        let returned = pool.reclaims + pool.dropped;
+        // A hub-side chaos drop frees the buffer straight to the
+        // allocator (there is no "right" per-CAB pool at a HUB), so it
+        // counts on the returned side of the ledger separately.
+        let returned = pool.reclaims + pool.dropped + world.chaos_freed();
         if acquired != returned {
             violations.push(Violation::PoolLeak { acquired, returned });
         }
     }
 
     /// Invariant 4: counter coherence and transport quiescence.
-    fn check_counters(&self, world: &World, violations: &mut Vec<Violation>) {
+    fn check_counters<A: Auditable>(&self, world: &A, violations: &mut Vec<Violation>) {
         if !world.transport_quiescent() {
             violations.push(Violation::NotQuiescent {
                 detail: "a stream holds in-flight/backlogged data or an RPC call is outstanding"

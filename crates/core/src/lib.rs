@@ -44,6 +44,7 @@ pub mod ipsc;
 pub mod mapping;
 pub mod nectarine;
 pub mod node;
+pub mod shard;
 pub mod system;
 pub mod topology;
 pub mod world;
@@ -53,13 +54,16 @@ pub use world::SystemConfig;
 
 /// The most frequently used names, for glob import.
 pub mod prelude {
-    pub use crate::invariants::{replay_line, InvariantChecker, Violation};
+    pub use crate::invariants::{replay_line, Auditable, InvariantChecker, Violation};
     pub use crate::ipsc::Ipsc;
     pub use crate::mapping::{
         map_annealed, map_greedy, map_round_robin, predicted_cost, Placement, TaskGraph,
     };
     pub use crate::nectarine::{Nectarine, TaskId};
     pub use crate::node::{NodeConfig, NodeInterface, NodeKind};
+    pub use crate::shard::{
+        canonical_delivery_sort, canonical_telemetry_sort, ShardPlan, ShardedWorld,
+    };
     pub use crate::system::{LatencyReport, NectarSystem, ThroughputReport};
     pub use crate::topology::{Peer, Topology, TopologyBuilder, TopologyError};
     pub use crate::world::{

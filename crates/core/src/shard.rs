@@ -1,0 +1,537 @@
+//! Sharded conservative-parallel execution: one simulated Nectar,
+//! all cores, bit-identical results.
+//!
+//! The Nectar-net is parallel in space: HUB clusters are joined by
+//! fibers whose minimum latency — [`HubConfig::lookahead`] plus
+//! propagation — lower-bounds how soon one cluster can affect
+//! another. [`ShardedWorld`] exploits that bound with a bounded-lag /
+//! YAWNS window protocol: the topology is partitioned into shards
+//! (each HUB with its attached CABs, in configurable contiguous
+//! groups), each shard runs its own [`World`] with its own engine,
+//! and all shards repeatedly
+//!
+//! 1. publish their next event time and agree on the global minimum
+//!    `T`,
+//! 2. execute every local event in the window `[T, T + lookahead)`,
+//!    collecting cross-shard fiber traffic into per-destination
+//!    outboxes (every such event lands at `>= T + lookahead` — that
+//!    is what lookahead means), and
+//! 3. exchange outboxes at a barrier and ingest.
+//!
+//! Determinism is non-negotiable and does not come from the window
+//! protocol alone: it comes from **keyed event ordering**. Every
+//! event carries a tie-break key derived from its source component
+//! and a per-source counter (see `Engine::schedule_at_keyed`), so
+//! same-instant events pop in an order intrinsic to the simulated
+//! system rather than to scheduling history. The sequential [`World`]
+//! uses the same keys, which is why `ShardedWorld` with any shard
+//! count produces bit-identical metrics, invariant verdicts, and
+//! (canonically sorted) telemetry to a plain sequential run.
+//!
+//! [`HubConfig::lookahead`]: nectar_hub::config::HubConfig::lookahead
+
+use crate::topology::Topology;
+use crate::world::{join_flights, AppSend, Delivery, Ev, QuiescenceOutcome, SystemConfig, World};
+use nectar_sim::chaos::{ChaosSchedule, ChaosStats};
+use nectar_sim::metrics::{Histogram, MetricsRegistry};
+use nectar_sim::telemetry::TelemetryEvent;
+use nectar_sim::time::{Dur, Time};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maps every HUB (and, through its attachment, every CAB) to a
+/// shard. Shards are contiguous HUB ranges: HUB indices produced by
+/// the [`Topology`] constructors place topologically close clusters
+/// at adjacent indices, so contiguous blocks keep most fiber edges
+/// internal.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    shard_of_hub: Vec<usize>,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `topo`'s HUBs into `shards` contiguous blocks of
+    /// near-equal size. The shard count is clamped to `1..=hub_count`
+    /// — more shards than HUBs cannot help, since a HUB is the unit
+    /// of ownership (a CAB always lives with its attachment HUB, so
+    /// CAB-HUB edges are never cross-shard).
+    pub fn contiguous(topo: &Topology, shards: usize) -> ShardPlan {
+        let hubs = topo.hub_count();
+        let shards = shards.clamp(1, hubs);
+        let shard_of_hub = (0..hubs).map(|h| h * shards / hubs).collect();
+        ShardPlan { shard_of_hub, shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning HUB `hub`.
+    pub fn shard_of_hub(&self, hub: usize) -> usize {
+        self.shard_of_hub[hub]
+    }
+
+    /// The shard owning CAB `cab` (its attachment HUB's shard).
+    pub fn shard_of_cab(&self, topo: &Topology, cab: usize) -> usize {
+        self.shard_of_hub[topo.cab_attachment(cab).0]
+    }
+}
+
+/// Per-shard routing context carried by a shard's [`World`]: where
+/// every HUB lives, which shard this world is, and the per-destination
+/// outbox filled during a window and exchanged at the barrier.
+pub(crate) struct ShardCtx {
+    pub(crate) plan: Arc<ShardPlan>,
+    pub(crate) id: usize,
+    pub(crate) outbox: Vec<Vec<(Time, u64, Ev)>>,
+}
+
+/// A sense-counting spin barrier. `std::sync::Barrier` parks threads
+/// on a condvar; at hundreds of thousands of sub-microsecond windows
+/// per run, wakeup latency would dominate the simulation itself.
+/// Workers here are busy by construction (they hold a core for the
+/// whole run), so spinning with a yield fallback is the right trade.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> SpinBarrier {
+        SpinBarrier { n, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::SeqCst);
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+            self.count.store(0, Ordering::SeqCst);
+            self.generation.fetch_add(1, Ordering::SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::SeqCst) == gen {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(4096) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// The window barrier, picked per run: spin when every shard can hold
+/// its own core, park on a condvar when shards outnumber cores.
+/// Spinning while oversubscribed is pathological — a waiting thread
+/// burns the timeslice the *arriving* thread needs, so every window
+/// costs scheduler round-trips instead of nanoseconds.
+enum WindowBarrier {
+    Spin(SpinBarrier),
+    Block(std::sync::Barrier),
+}
+
+impl WindowBarrier {
+    fn new(n: usize) -> WindowBarrier {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if n <= cores {
+            WindowBarrier::Spin(SpinBarrier::new(n))
+        } else {
+            WindowBarrier::Block(std::sync::Barrier::new(n))
+        }
+    }
+
+    fn wait(&self) {
+        match self {
+            WindowBarrier::Spin(b) => b.wait(),
+            WindowBarrier::Block(b) => {
+                b.wait();
+            }
+        }
+    }
+}
+
+/// A [`World`] partitioned across OS threads, with the same API
+/// surface and — by construction — the same observable results.
+///
+/// # Examples
+///
+/// ```
+/// use nectar_core::prelude::*;
+/// use nectar_sim::time::Time;
+/// use std::sync::Arc;
+///
+/// let topo = Topology::fat_star(4, 2, 16);
+/// let mut seq = World::new(topo.clone(), SystemConfig::default());
+/// let mut par = ShardedWorld::new(topo, SystemConfig::default(), 4);
+/// for _ in 0..2 {
+///     let payload: Arc<[u8]> = vec![7u8; 600].into();
+///     let send = AppSend::Stream { dst: 1, src_mailbox: 1, dst_mailbox: 9, data: payload };
+///     seq.schedule_send(Time::from_micros(5), 0, send.clone());
+///     par.schedule_send(Time::from_micros(5), 0, send);
+/// }
+/// seq.run_to_quiescence(Time::from_millis(50));
+/// par.run_to_quiescence(Time::from_millis(50));
+/// assert_eq!(seq.metrics().to_json(), par.metrics().to_json());
+/// ```
+pub struct ShardedWorld {
+    topo: Topology,
+    plan: Arc<ShardPlan>,
+    worlds: Vec<World>,
+    /// Window width: `HubConfig::lookahead()` + fiber propagation.
+    lookahead: Dur,
+}
+
+impl ShardedWorld {
+    /// Partitions `topo` into `shards` shards (clamped to the HUB
+    /// count) and builds one engine per shard. `shards == 1` behaves
+    /// exactly like — and runs as fast as — a sequential [`World`].
+    pub fn new(topo: Topology, cfg: SystemConfig, shards: usize) -> ShardedWorld {
+        let plan = Arc::new(ShardPlan::contiguous(&topo, shards));
+        let lookahead = cfg.hub.lookahead() + cfg.propagation;
+        let worlds = (0..plan.shards())
+            .map(|i| World::new_shard(topo.clone(), cfg.clone(), Arc::clone(&plan), i))
+            .collect();
+        ShardedWorld { topo, plan, worlds, lookahead }
+    }
+
+    /// Number of shards actually running.
+    pub fn shards(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// The topology this world runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The partition in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The window width: the lookahead every shard may run ahead of
+    /// the global minimum event time.
+    pub fn lookahead(&self) -> Dur {
+        self.lookahead
+    }
+
+    fn shard_of_cab(&self, cab: usize) -> usize {
+        self.plan.shard_of_cab(&self.topo, cab)
+    }
+
+    /// Switches on the flight recorder in every shard (see
+    /// [`World::enable_observability`]).
+    pub fn enable_observability(&mut self) {
+        for w in &mut self.worlds {
+            w.enable_observability();
+        }
+    }
+
+    /// Installs the same chaos schedule in every shard. Clause RNG
+    /// streams are per-(clause, component), and each component's
+    /// arrivals happen in exactly one shard, so the compiled
+    /// injectors collectively consume the same draws as a sequential
+    /// run's single injector.
+    pub fn set_chaos(&mut self, schedule: ChaosSchedule) {
+        for w in &mut self.worlds {
+            w.set_chaos(schedule.clone());
+        }
+    }
+
+    /// Schedules an application send on the shard owning `cab`.
+    pub fn schedule_send(&mut self, at: Time, cab: usize, send: AppSend) {
+        let s = self.shard_of_cab(cab);
+        self.worlds[s].schedule_send(at, cab, send);
+    }
+
+    /// Runs the window protocol until every shard's queue drains or
+    /// the global clock would pass `deadline`; mirrors
+    /// [`World::run_to_quiescence`] including final clock position.
+    pub fn run_to_quiescence(&mut self, deadline: Time) -> (u64, QuiescenceOutcome) {
+        if self.worlds.len() == 1 {
+            return self.worlds[0].run_to_quiescence(deadline);
+        }
+        let (n, outcome) = self.drive(deadline);
+        let settle = match outcome {
+            QuiescenceOutcome::Quiescent => {
+                self.worlds.iter().map(|w| w.now()).max().unwrap_or(Time::ZERO)
+            }
+            QuiescenceOutcome::DeadlineReached => deadline,
+        };
+        for w in &mut self.worlds {
+            w.advance_clock(settle);
+        }
+        (n, outcome)
+    }
+
+    /// Runs until quiet or past `deadline`, then advances every shard
+    /// clock to `deadline`; mirrors [`World::run_until`].
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        if self.worlds.len() == 1 {
+            return self.worlds[0].run_until(deadline);
+        }
+        let (n, _) = self.drive(deadline);
+        for w in &mut self.worlds {
+            w.advance_clock(deadline);
+        }
+        n
+    }
+
+    /// The threaded YAWNS loop. On return every shard has processed
+    /// exactly the events a sequential run would process up to
+    /// `deadline` (inclusive); clocks are *not* yet normalized.
+    fn drive(&mut self, deadline: Time) -> (u64, QuiescenceOutcome) {
+        let n = self.worlds.len();
+        let lookahead = self.lookahead.nanos().max(1);
+        let deadline_ns = deadline.nanos();
+        // Window-end cap: events AT the deadline still run (sequential
+        // semantics), anything later stays queued.
+        let cap = deadline_ns.saturating_add(1);
+        let peeks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let inboxes: Vec<Mutex<Vec<(Time, u64, Ev)>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = WindowBarrier::new(n);
+        let (peeks, inboxes, barrier) = (&peeks, &inboxes, &barrier);
+        let mut results: Vec<(u64, u64)> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .worlds
+                .iter_mut()
+                .enumerate()
+                .map(|(i, world)| {
+                    s.spawn(move || {
+                        let mut events = 0u64;
+                        loop {
+                            let peek = world.next_event_time().map_or(u64::MAX, |t| t.nanos());
+                            peeks[i].store(peek, Ordering::SeqCst);
+                            barrier.wait();
+                            // Every worker reads the same snapshot (no
+                            // store happens until after the *next*
+                            // barrier), so every worker computes the
+                            // same T and the loop exits in lockstep.
+                            let t = peeks
+                                .iter()
+                                .map(|p| p.load(Ordering::SeqCst))
+                                .min()
+                                .expect("at least one shard");
+                            if t == u64::MAX || t > deadline_ns {
+                                return (events, t);
+                            }
+                            let end = Time::from_nanos(t.saturating_add(lookahead).min(cap));
+                            events += world.run_window(end);
+                            for (dst, inbox) in inboxes.iter().enumerate() {
+                                if dst == i {
+                                    continue;
+                                }
+                                let out = world.drain_outbox(dst);
+                                if !out.is_empty() {
+                                    inbox.lock().expect("no panics hold this lock").extend(out);
+                                }
+                            }
+                            barrier.wait();
+                            let mine = std::mem::take(
+                                &mut *inboxes[i].lock().expect("no panics hold this lock"),
+                            );
+                            world.ingest(mine);
+                        }
+                    })
+                })
+                .collect();
+            results =
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
+        });
+        let total: u64 = results.iter().map(|(e, _)| e).sum();
+        let final_t = results[0].1;
+        let outcome = if final_t == u64::MAX {
+            QuiescenceOutcome::Quiescent
+        } else {
+            QuiescenceOutcome::DeadlineReached
+        };
+        (total, outcome)
+    }
+
+    // ---------------------------------------------------------------
+    // Merged observations
+    // ---------------------------------------------------------------
+
+    /// Current simulation time (identical across shards after a run).
+    pub fn now(&self) -> Time {
+        self.worlds.iter().map(|w| w.now()).max().unwrap_or(Time::ZERO)
+    }
+
+    /// Total events processed across all shards. Every event runs in
+    /// exactly one shard and the window protocol adds none, so this
+    /// equals the sequential count.
+    pub fn events_processed(&self) -> u64 {
+        self.worlds.iter().map(|w| w.events_processed()).sum()
+    }
+
+    /// Packets destroyed by fault injection, across shards.
+    pub fn faults_injected(&self) -> u64 {
+        self.worlds.iter().map(|w| w.faults_injected).sum()
+    }
+
+    /// The active chaos schedule, if any.
+    pub fn chaos_schedule(&self) -> Option<&ChaosSchedule> {
+        self.worlds[0].chaos_schedule()
+    }
+
+    /// Merged metrics: counters sum, gauges max, histograms merge —
+    /// and the flight-latency join runs over the union of all shards'
+    /// birth/end maps, since multicast flights can be born in one
+    /// shard and delivered in another. Non-owned components in each
+    /// shard contribute exact zeros, so the merge reproduces the
+    /// sequential registry bit-for-bit.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let mut births: HashMap<u64, Time> = HashMap::new();
+        let mut ends: HashMap<u64, Time> = HashMap::new();
+        for w in &self.worlds {
+            reg.merge(&w.metrics_without_flights());
+            let (b, e) = w.flight_times();
+            births.extend(b);
+            for (id, at) in e {
+                let slot = ends.entry(*id).or_insert(*at);
+                if at < slot {
+                    *slot = *at;
+                }
+            }
+        }
+        let mut flights = Histogram::new();
+        join_flights(&births, &ends, &mut flights);
+        if !flights.is_empty() {
+            reg.merge_histogram("latency.flight_ns", &flights);
+        }
+        reg
+    }
+
+    /// Every recorded telemetry event across all shards, in the
+    /// canonical order (see [`canonical_telemetry_sort`]).
+    pub fn telemetry_events(&self) -> Vec<TelemetryEvent> {
+        let mut all: Vec<TelemetryEvent> =
+            self.worlds.iter().flat_map(|w| w.telemetry_events()).collect();
+        canonical_telemetry_sort(&mut all);
+        all
+    }
+
+    /// Every message delivery across shards, in canonical order
+    /// (compare against a sequential run's deliveries sorted with
+    /// [`canonical_delivery_sort`]).
+    pub fn deliveries(&self) -> Vec<Delivery> {
+        let mut all: Vec<Delivery> =
+            self.worlds.iter().flat_map(|w| w.deliveries.iter().cloned()).collect();
+        canonical_delivery_sort(&mut all);
+        all
+    }
+
+    /// Sender-side completions across shards: `(cab, msg_id, at)`,
+    /// sorted canonically.
+    pub fn completions(&self) -> Vec<(usize, u32, Time)> {
+        let mut all: Vec<(usize, u32, Time)> =
+            self.worlds.iter().flat_map(|w| w.completions.iter().copied()).collect();
+        all.sort_unstable_by_key(|&(cab, id, at)| (at, cab, id));
+        all
+    }
+
+    // ---------------------------------------------------------------
+    // Per-component routing (each CAB's state lives in one shard)
+    // ---------------------------------------------------------------
+
+    /// Takes the next message out of a mailbox (application receive).
+    pub fn mailbox_take(
+        &mut self,
+        cab: usize,
+        mailbox: u16,
+    ) -> Option<nectar_kernel::mailbox::Message> {
+        let s = self.shard_of_cab(cab);
+        self.worlds[s].mailbox_take(cab, mailbox)
+    }
+
+    /// Byte-stream statistics from `src` towards `dst`.
+    pub fn stream_stats(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> Option<nectar_proto::transport::bytestream::ByteStreamStats> {
+        self.worlds[self.shard_of_cab(src)].stream_stats(src, dst)
+    }
+
+    /// RPC server counters for CAB `idx`.
+    pub fn rpc_server_stats(&self, idx: usize) -> (u64, u64, u64) {
+        self.worlds[self.shard_of_cab(idx)].rpc_server_stats(idx)
+    }
+
+    /// RPC client counters for CAB `idx`.
+    pub fn rpc_client_stats(&self, idx: usize) -> (u64, u64, u64, u64) {
+        self.worlds[self.shard_of_cab(idx)].rpc_client_stats(idx)
+    }
+
+    /// Counters for CAB `idx`.
+    pub fn cab_counters(&self, idx: usize) -> crate::world::CabCounters {
+        self.worlds[self.shard_of_cab(idx)].cab_counters(idx)
+    }
+
+    /// `true` when every stream has drained and no RPC is pending.
+    pub fn transport_quiescent(&self) -> bool {
+        self.worlds.iter().all(|w| w.transport_quiescent())
+    }
+
+    /// Wire-buffer pool counters summed across all shards' CABs.
+    pub fn pool_stats(&self) -> nectar_hub::pool::PoolStats {
+        let mut total = nectar_hub::pool::PoolStats::default();
+        for w in &self.worlds {
+            total.merge(w.pool_stats());
+        }
+        total
+    }
+
+    /// Buffers destroyed at HUBs by chaos, across shards.
+    pub fn chaos_freed(&self) -> u64 {
+        self.worlds.iter().map(|w| w.chaos_freed()).sum()
+    }
+
+    /// HUB fan-out copies, across shards (non-owned HUBs count zero).
+    pub fn hub_fanout_copies(&self) -> u64 {
+        self.worlds.iter().map(|w| w.hub_fanout_copies()).sum()
+    }
+
+    /// Applied-fault counters summed across shards. Each component's
+    /// arrivals are faulted in exactly one shard, so the sum equals
+    /// the sequential injector's stats.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.worlds[0].chaos_schedule()?;
+        let mut total = ChaosStats::default();
+        for w in &self.worlds {
+            let Some(s) = w.chaos_stats() else { continue };
+            total.drops += s.drops;
+            total.burst_drops += s.burst_drops;
+            total.flap_drops += s.flap_drops;
+            total.duplicates += s.duplicates;
+            total.reorders += s.reorders;
+            total.corruptions += s.corruptions;
+            total.cmd_drops += s.cmd_drops;
+            total.port_drops += s.port_drops;
+        }
+        Some(total)
+    }
+}
+
+/// Sorts telemetry into the canonical cross-run comparison order:
+/// `(time, flight, rendered kind)`. Per-shard rings interleave
+/// same-instant events from different components differently than one
+/// sequential ring does; this order is a total one over the event
+/// *content*, so two runs recorded the same events iff the sorted
+/// vectors are equal. (`EventKind` intentionally has no `Ord` — the
+/// debug rendering is the comparison key of last resort.)
+pub fn canonical_telemetry_sort(events: &mut [TelemetryEvent]) {
+    events.sort_by_cached_key(|e| (e.at, e.flight, format!("{:?}", e.kind)));
+}
+
+/// Sorts deliveries into the canonical comparison order.
+pub fn canonical_delivery_sort(deliveries: &mut [Delivery]) {
+    deliveries.sort_by_key(|d| (d.at, d.cab, d.mailbox, d.msg_id, d.len));
+}

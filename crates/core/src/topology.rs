@@ -231,6 +231,37 @@ impl Topology {
         b.build().expect("mesh is valid")
     }
 
+    /// A fat star: one root HUB whose ports all feed leaf HUBs, each
+    /// leaf carrying `cabs_per_leaf` CABs. This is the "multiple HUBs
+    /// [...] connected in any topology appropriate to the application
+    /// environment" case (§3.1) with the root acting as a pure trunk
+    /// switch — every cross-leaf flight crosses exactly two fibers, so
+    /// the topology maximizes the fraction of traffic that is local to
+    /// a leaf cluster and is the natural scale-out benchmark shape.
+    ///
+    /// Leaf `l` hangs off root port `l`; each leaf's uplink uses its
+    /// highest port, CABs use ports `0..cabs_per_leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero or exceeds `ports_per_hub`, or if
+    /// `cabs_per_leaf + 1` exceeds `ports_per_hub`.
+    pub fn fat_star(leaves: usize, cabs_per_leaf: usize, ports_per_hub: usize) -> Topology {
+        assert!(leaves > 0, "fat star needs at least one leaf");
+        assert!(leaves <= ports_per_hub, "root has only {ports_per_hub} ports");
+        assert!(cabs_per_leaf < ports_per_hub, "leaf needs an uplink port");
+        let uplink = PortId::new(ports_per_hub as u8 - 1);
+        // HUB 0 is the root; leaves are 1..=leaves.
+        let mut b = TopologyBuilder::new(leaves + 1, ports_per_hub);
+        for l in 0..leaves {
+            b.link_hubs(0, PortId::new(l as u8), l + 1, uplink).expect("star ports free");
+            for k in 0..cabs_per_leaf {
+                b.add_cab(l + 1, PortId::new(k as u8)).expect("cab ports free");
+            }
+        }
+        b.build().expect("fat star is valid")
+    }
+
     /// A ring of HUB clusters ("the HUB clusters may be connected in
     /// any topology appropriate to the application environment",
     /// §3.1). Ring links use the two highest ports.
@@ -460,6 +491,19 @@ mod tests {
         assert_eq!(t.hop_count(0, 6).unwrap(), 4);
         // Going 5 clusters forward is 1 cluster backward.
         assert_eq!(t.hop_count(0, 10).unwrap(), 2);
+    }
+
+    #[test]
+    fn fat_star_routes_through_the_root() {
+        let t = Topology::fat_star(4, 4, 16);
+        assert_eq!(t.hub_count(), 5);
+        assert_eq!(t.cab_count(), 16);
+        // Same leaf: 1 hub hop. Cross-leaf: leaf -> root -> leaf = 3.
+        assert_eq!(t.hop_count(0, 1).unwrap(), 1);
+        assert_eq!(t.hop_count(0, 4).unwrap(), 3);
+        assert_eq!(t.hop_count(0, 15).unwrap(), 3);
+        // The root carries no CABs.
+        assert_eq!(t.cab_attachment(0).0, 1);
     }
 
     #[test]

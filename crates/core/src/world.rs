@@ -8,6 +8,7 @@
 //! with the paper's timing model, charges CAB CPU costs, and records
 //! every delivery, completion, and error for the experiment harness.
 
+use crate::shard::{ShardCtx, ShardPlan};
 use crate::topology::{Peer, Topology};
 use nectar_cab::board::{Cab, CabId};
 use nectar_cab::dma::Channel;
@@ -305,6 +306,12 @@ struct CabState {
     timers: HashMap<(TimerSource, u64), EventId>,
     next_packet_id: u64,
     counters: CabCounters,
+    /// Free-list of wire buffers this CAB encodes sends into;
+    /// receive processing reclaims consumed buffers here. Per-CAB
+    /// (rather than world-global) so the hit/miss sequence is a
+    /// function of this CAB's own event timeline alone — a sharded
+    /// run then reproduces it bit-for-bit.
+    pool: BufPool,
 }
 
 /// The assembled, runnable Nectar system.
@@ -327,9 +334,11 @@ pub struct World {
     chaos: Option<ChaosInjector>,
     /// Packets destroyed by fault injection.
     pub faults_injected: u64,
-    /// Free-list of wire buffers (encode targets, reclaimed after
-    /// receive processing).
-    pool: BufPool,
+    /// Buffers freed straight to the allocator by hub-side chaos drops.
+    /// With per-CAB pools there is no natural pool to reclaim into at a
+    /// HUB (the buffer came from some sender's pool), so the ledger
+    /// counts these separately; see `InvariantChecker::check_pool`.
+    chaos_freed: u64,
     /// Scratch for [`run_until`](World::run_until)'s batched drain;
     /// kept across calls so the steady state never allocates.
     batch: Vec<Ev>,
@@ -342,14 +351,48 @@ pub struct World {
     /// pays one branch.
     observability: bool,
     /// Flight id -> time the packet was handed to the datalink.
+    /// Entries are never removed; the latency histogram is a
+    /// birth/end join at metrics time, so the accounting is
+    /// insertion-order-independent (and therefore shardable).
     flight_births: HashMap<u64, Time>,
-    /// Send-to-delivery latency per flight, nanoseconds.
-    flight_latency: Histogram,
+    /// Flight id -> earliest time any receiver's application had the
+    /// packet (min over deliveries; multicast delivers one flight to
+    /// many CABs).
+    flight_ends: HashMap<u64, Time>,
+    /// Per-source tie-break key counters: index `0..cab_count` is the
+    /// CAB, `cab_count..cab_count + hub_count` the HUB. Same-instant
+    /// events pop in key order — an order intrinsic to the components,
+    /// not to scheduling history, so any partitioning of the event
+    /// loop replays it exactly. See [`Engine::schedule_at_keyed`].
+    keys: Vec<u64>,
+    /// Sharded-execution context (`None` when this world runs alone).
+    shard: Option<ShardCtx>,
 }
 
 impl World {
     /// Builds a world over `topo`.
     pub fn new(topo: Topology, cfg: SystemConfig) -> World {
+        World::build(topo, cfg, None)
+    }
+
+    /// Builds one shard of a partitioned world: a full-topology world
+    /// that only ever processes events for the components
+    /// [`ShardPlan`] assigns to shard `id`. Cross-shard HUB traffic
+    /// goes to the outbox instead of the local engine; everything
+    /// else (non-owned component state) stays pristine, which is what
+    /// makes the per-shard metrics registries merge into exactly the
+    /// sequential one.
+    pub(crate) fn new_shard(
+        topo: Topology,
+        cfg: SystemConfig,
+        plan: std::sync::Arc<ShardPlan>,
+        id: usize,
+    ) -> World {
+        let outbox = (0..plan.shards()).map(|_| Vec::new()).collect();
+        World::build(topo, cfg, Some(ShardCtx { plan, id, outbox }))
+    }
+
+    fn build(topo: Topology, cfg: SystemConfig, shard: Option<ShardCtx>) -> World {
         let hubs =
             (0..topo.hub_count()).map(|i| Hub::new(HubId::new(i as u8), cfg.hub.clone())).collect();
         let cabs = (0..topo.cab_count())
@@ -378,9 +421,11 @@ impl World {
                     timers: HashMap::new(),
                     next_packet_id: (i as u64) << 40,
                     counters: CabCounters::default(),
+                    pool: BufPool::default(),
                 }
             })
             .collect();
+        let keys = vec![0u64; topo.cab_count() + topo.hub_count()];
         World {
             cfg,
             topo,
@@ -393,13 +438,30 @@ impl World {
             replies: Vec::new(),
             chaos: None,
             faults_injected: 0,
-            pool: BufPool::default(),
+            chaos_freed: 0,
             batch: Vec::new(),
             telemetry: Telemetry::default(),
             observability: false,
             flight_births: HashMap::new(),
-            flight_latency: Histogram::new(),
+            flight_ends: HashMap::new(),
+            keys,
+            shard,
         }
+    }
+
+    /// The next tie-break key for an event caused by source component
+    /// `src` (a `keys` index): globally unique, ascending per source.
+    #[inline]
+    fn next_key(&mut self, src: usize) -> u64 {
+        let ctr = self.keys[src];
+        self.keys[src] = ctr + 1;
+        ((src as u64) << 40) | ctr
+    }
+
+    /// The key-source index of HUB `hub` (CABs occupy `0..cab_count`).
+    #[inline]
+    fn hub_src(&self, hub: usize) -> usize {
+        self.cabs.len() + hub
     }
 
     /// Switches on the flight recorder: typed telemetry in every HUB,
@@ -445,6 +507,26 @@ impl World {
     /// utilization, buffer-pool hit rates, and (when observability is
     /// on) the flight-latency histogram.
     pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = self.metrics_without_flights();
+        let mut flights = Histogram::new();
+        join_flights(&self.flight_births, &self.flight_ends, &mut flights);
+        if !flights.is_empty() {
+            reg.merge_histogram("latency.flight_ns", &flights);
+        }
+        reg
+    }
+
+    /// The flight birth (send) and end (first delivery) time maps, for
+    /// the cross-shard latency join: a flight born in one shard may
+    /// end in another, so the sharded runner joins globally.
+    pub(crate) fn flight_times(&self) -> (&HashMap<u64, Time>, &HashMap<u64, Time>) {
+        (&self.flight_births, &self.flight_ends)
+    }
+
+    /// Everything [`metrics`](World::metrics) collects except the
+    /// flight-latency join (which needs global birth/end maps under
+    /// sharded execution).
+    pub(crate) fn metrics_without_flights(&self) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
         for (h, hub) in self.hubs.iter().enumerate() {
             hub.counters().register_into(&mut reg, &format!("hub{h}."));
@@ -514,20 +596,18 @@ impl World {
             reg.counter_add("chaos.cmd_drops", chaos.cmd_drops);
             reg.counter_add("chaos.port_drops", chaos.port_drops);
         }
-        let pool = self.pool.stats();
+        let pool = self.pool_stats();
         reg.counter_add("pool.hits", pool.hits);
         reg.counter_add("pool.misses", pool.misses);
         reg.counter_add("pool.reclaims", pool.reclaims);
         reg.counter_add("pool.dropped", pool.dropped);
+        reg.counter_add("pool.chaos_freed", self.chaos_freed);
         // Ring overflow across every recorder: nonzero means the event
         // stream is truncated and doctor findings must not be trusted.
         let dropped = self.telemetry.dropped()
             + self.hubs.iter().map(|h| h.telemetry().dropped()).sum::<u64>()
             + self.cabs.iter().map(|cs| cs.sched.telemetry().dropped()).sum::<u64>();
         reg.counter_add("telemetry.dropped_events", dropped);
-        if !self.flight_latency.is_empty() {
-            reg.merge_histogram("latency.flight_ns", &self.flight_latency);
-        }
         reg
     }
 
@@ -763,9 +843,20 @@ impl World {
         self.hubs.iter().map(|h| h.counters().fanout_copies).sum()
     }
 
-    /// Wire-buffer pool counters (hit rate, reclaim success).
+    /// Wire-buffer pool counters (hit rate, reclaim success), summed
+    /// over every CAB's pool.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats()
+        let mut total = PoolStats::default();
+        for cs in &self.cabs {
+            total.merge(cs.pool.stats());
+        }
+        total
+    }
+
+    /// Buffers destroyed at a HUB by chaos and freed straight to the
+    /// allocator (no pool reclaim; see the pool-conservation ledger).
+    pub fn chaos_freed(&self) -> u64 {
+        self.chaos_freed
     }
 
     /// Timestamp of the next live event, if any.
@@ -809,12 +900,65 @@ impl World {
     }
 
     // ---------------------------------------------------------------
+    // Sharded execution hooks (driven by `shard::ShardedWorld`)
+    // ---------------------------------------------------------------
+
+    /// Processes every queued event strictly before `end` (a YAWNS
+    /// window). Events *at* `end` stay queued: they may tie with
+    /// cross-shard events still in another shard's outbox, and ties
+    /// must be broken by key with both sides present. The clock is
+    /// left at the last processed event. Returns events processed.
+    pub(crate) fn run_window(&mut self, end: Time) -> u64 {
+        let mut n = 0;
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(at) = self.engine.peek_time() {
+            if at >= end {
+                break;
+            }
+            self.engine.step_batch(&mut batch);
+            n += batch.len() as u64;
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
+        }
+        self.batch = batch;
+        n
+    }
+
+    /// Takes everything queued for shard `dst` out of the outbox.
+    pub(crate) fn drain_outbox(&mut self, dst: usize) -> Vec<(Time, u64, Ev)> {
+        match &mut self.shard {
+            Some(ctx) => std::mem::take(&mut ctx.outbox[dst]),
+            None => Vec::new(),
+        }
+    }
+
+    /// Schedules cross-shard arrivals produced by other shards. Keys
+    /// are globally unique, so arrival order here is irrelevant — the
+    /// heap pops them in the one total `(time, key)` order.
+    pub(crate) fn ingest(&mut self, arrivals: Vec<(Time, u64, Ev)>) {
+        for (at, key, ev) in arrivals {
+            self.engine.schedule_at_keyed(at, key, ev);
+        }
+    }
+
+    /// Advances the clock to `t` if it lags (window-barrier clock
+    /// normalization; time-derived gauges like fiber utilization read
+    /// the clock, so every shard must end on the same instant).
+    pub(crate) fn advance_clock(&mut self, t: Time) {
+        if self.engine.now() < t {
+            self.engine.advance_to(t);
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Application API
     // ---------------------------------------------------------------
 
     /// Schedules an application send at absolute time `at`.
     pub fn schedule_send(&mut self, at: Time, cab: usize, send: AppSend) {
-        self.engine.schedule_at(at, Ev::AppSend { cab, send });
+        let key = self.next_key(cab);
+        self.engine.schedule_at_keyed(at, key, Ev::AppSend { cab, send });
     }
 
     /// Sends a reliable byte-stream message right now; returns its
@@ -911,10 +1055,13 @@ impl World {
                         // The item dies at the HUB input port. Flow
                         // control is NOT released — the sender's
                         // ready-timeout (§6.2.1) recovers, exactly as
-                        // with a dead physical port.
+                        // with a dead physical port. The buffer came
+                        // from some sender's pool; freeing it here
+                        // (no reclaim) keeps pool traffic per-CAB.
                         self.faults_injected += 1;
                         if let Item::Packet(p) = item {
-                            self.pool.reclaim(p.into_shared());
+                            drop(p.into_shared());
+                            self.chaos_freed += 1;
                         }
                         return;
                     }
@@ -1141,7 +1288,7 @@ impl World {
                 CabId::new(dsts[0] as u16),
             )
         };
-        let mut wire = self.pool.acquire();
+        let mut wire = self.cabs[src].pool.acquire();
         header.encode_into(data, &mut wire);
         let t = self.cfg.cab.send_path();
         let app = self.cabs[src].app_thread;
@@ -1212,7 +1359,7 @@ impl World {
                         cs.sched.run_interrupt(now, cost_int).1
                     };
                     cs.counters.checksum_ops += 1;
-                    let mut wire = self.pool.acquire();
+                    let mut wire = cs.pool.acquire();
                     header.encode_into(&payload, &mut wire);
                     let dst = header.dst_cab.index();
                     let payload_len = payload.len() as u32;
@@ -1238,17 +1385,24 @@ impl World {
                         flight,
                         EventKind::AppRecv { cab: cab as u16, mailbox, bytes: len as u32 },
                     );
-                    if self.observability {
-                        if let Some(birth) = self.flight_births.remove(&flight.0) {
-                            self.flight_latency.observe(end.saturating_since(birth).nanos());
+                    if self.observability && flight.is_some() {
+                        // Min-join, not first-wins: the earliest
+                        // delivery of a flight defines its latency, no
+                        // matter which shard (or batch position)
+                        // processed it first.
+                        let slot = self.flight_ends.entry(flight.0).or_insert(end);
+                        if end < *slot {
+                            *slot = end;
                         }
                     }
                     self.deliveries.push(Delivery { cab, mailbox, msg_id: id, len, at: end });
                 }
                 Action::SetTimer { token, delay } => {
                     let src = source.expect("timer from a timerless protocol");
-                    let id = self.engine.schedule_at(
+                    let key = self.next_key(cab);
+                    let id = self.engine.schedule_at_keyed(
                         now.max(self.engine.now()) + delay,
+                        key,
                         Ev::CabTimer { cab, source: src, token },
                     );
                     self.cabs[cab].timers.insert((src, token.0), id);
@@ -1375,7 +1529,8 @@ impl World {
                 self.cabs[cab].ready_gen += 1;
                 let gen = self.cabs[cab].ready_gen;
                 let at = now.max(self.engine.now()) + self.cfg.ready_timeout;
-                self.engine.schedule_at(at, Ev::CabReadyTimeout { cab, gen });
+                let key = self.next_key(cab);
+                self.engine.schedule_at_keyed(at, key, Ev::CabReadyTimeout { cab, gen });
             }
             let burst = self.cabs[cab].tx_bursts.pop_front().expect("front exists");
             for item in burst {
@@ -1392,7 +1547,8 @@ impl World {
                 }
                 self.cabs[cab].fiber_free = head + wire;
                 self.cabs[cab].fiber_tx_busy += wire;
-                self.engine.schedule_at(head + prop, Ev::HubItem { hub, port, item });
+                let key = self.next_key(cab);
+                self.engine.schedule_at_keyed(head + prop, key, Ev::HubItem { hub, port, item });
             }
         }
     }
@@ -1403,16 +1559,27 @@ impl World {
 
     fn apply_hub_effects(&mut self, hub: usize, fx: Effects) {
         let prop = self.cfg.propagation;
+        let src = self.hub_src(hub);
         for em in fx.emissions {
             match self.topo.peer(hub, em.port) {
                 Peer::Hub(h2, p2) => {
-                    self.engine.schedule_at(
+                    let key = self.next_key(src);
+                    self.route_to_hub(
+                        h2,
                         em.at + prop,
+                        key,
                         Ev::HubItem { hub: h2, port: p2, item: em.item },
                     );
                 }
                 Peer::Cab(c) => {
-                    self.engine.schedule_at(em.at + prop, Ev::CabItem { cab: c, item: em.item });
+                    // A CAB always shares its attachment HUB's shard,
+                    // so this edge is never cross-shard.
+                    let key = self.next_key(src);
+                    self.engine.schedule_at_keyed(
+                        em.at + prop,
+                        key,
+                        Ev::CabItem { cab: c, item: em.item },
+                    );
                 }
                 Peer::None => { /* unwired port: the item vanishes */ }
             }
@@ -1420,16 +1587,35 @@ impl World {
         for rs in fx.ready_signals {
             match self.topo.peer(hub, rs.port) {
                 Peer::Hub(h2, p2) => {
-                    self.engine.schedule_at(rs.at + prop, Ev::HubReady { hub: h2, port: p2 });
+                    let key = self.next_key(src);
+                    self.route_to_hub(h2, rs.at + prop, key, Ev::HubReady { hub: h2, port: p2 });
                 }
                 Peer::Cab(c) => {
-                    self.engine.schedule_at(rs.at + prop, Ev::CabReadySignal { cab: c });
+                    let key = self.next_key(src);
+                    self.engine.schedule_at_keyed(rs.at + prop, key, Ev::CabReadySignal { cab: c });
                 }
                 Peer::None => {}
             }
         }
         for int in fx.internal {
-            self.engine.schedule_at(int.at, Ev::HubInternal { hub, ev: int.ev });
+            let key = self.next_key(src);
+            self.engine.schedule_at_keyed(int.at, key, Ev::HubInternal { hub, ev: int.ev });
+        }
+    }
+
+    /// Routes a HUB-to-HUB event: locally when the destination HUB
+    /// lives in this shard (or the world is unsharded), through the
+    /// window-boundary outbox otherwise. These fiber edges are the
+    /// *only* cross-shard channel — their minimum latency is the
+    /// lookahead that makes the conservative window sound.
+    fn route_to_hub(&mut self, dst_hub: usize, at: Time, key: u64, ev: Ev) {
+        match &mut self.shard {
+            Some(ctx) if ctx.plan.shard_of_hub(dst_hub) != ctx.id => {
+                ctx.outbox[ctx.plan.shard_of_hub(dst_hub)].push((at, key, ev));
+            }
+            _ => {
+                self.engine.schedule_at_keyed(at, key, ev);
+            }
         }
     }
 
@@ -1452,16 +1638,21 @@ impl World {
                     // released or the sender wedges, and the buffer
                     // goes back to the pool.
                     self.faults_injected += 1;
-                    self.pool.reclaim(p.into_shared());
-                    self.engine.schedule_at(now + prop, Ev::HubReady { hub, port });
+                    self.cabs[cab].pool.reclaim(p.into_shared());
+                    let key = self.next_key(cab);
+                    self.engine.schedule_at_keyed(now + prop, key, Ev::HubReady { hub, port });
                     return;
                 }
                 if verdict.duplicate {
                     // The copy shares the original buffer (scheduled
                     // before corruption replaces it) and re-enters via
                     // the replay path so it cannot be faulted again.
-                    self.engine
-                        .schedule_at(now, Ev::CabItemReplay { cab, item: Item::Packet(p.clone()) });
+                    let key = self.next_key(cab);
+                    self.engine.schedule_at_keyed(
+                        now,
+                        key,
+                        Ev::CabItemReplay { cab, item: Item::Packet(p.clone()) },
+                    );
                 }
                 let p = match verdict.corrupt {
                     Some((idx, bit)) if !p.is_empty() => {
@@ -1470,7 +1661,7 @@ impl World {
                         let idx = idx.min(bytes.len() - 1);
                         bytes[idx] ^= 1 << (bit & 7);
                         let id = p.id();
-                        self.pool.reclaim(p.into_shared());
+                        self.cabs[cab].pool.reclaim(p.into_shared());
                         Packet::new(id, bytes)
                     }
                     _ => p,
@@ -1479,9 +1670,14 @@ impl World {
                     // Reordering: release the HUB port now so later
                     // traffic overtakes, then deliver the original
                     // after the extra delay.
-                    self.engine.schedule_at(now + prop, Ev::HubReady { hub, port });
-                    self.engine
-                        .schedule_at(now + d, Ev::CabItemReplay { cab, item: Item::Packet(p) });
+                    let key = self.next_key(cab);
+                    self.engine.schedule_at_keyed(now + prop, key, Ev::HubReady { hub, port });
+                    let key = self.next_key(cab);
+                    self.engine.schedule_at_keyed(
+                        now + d,
+                        key,
+                        Ev::CabItemReplay { cab, item: Item::Packet(p) },
+                    );
                     return;
                 }
                 Item::Packet(p)
@@ -1508,8 +1704,13 @@ impl World {
                     // The queue overran; the packet is lost. Free the
                     // flow-control path so the network is not wedged,
                     // and return the buffer to the pool.
-                    self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
-                    self.pool.reclaim(p.into_shared());
+                    let key = self.next_key(cab);
+                    self.engine.schedule_at_keyed(
+                        handler_done + prop,
+                        key,
+                        Ev::HubReady { hub, port },
+                    );
+                    self.cabs[cab].pool.reclaim(p.into_shared());
                     return;
                 }
                 // The DMA drains the input queue concurrently with the
@@ -1534,8 +1735,14 @@ impl World {
                 let payload = p.share();
                 // The packet emerges from the CAB input queue when the
                 // DMA starts draining it: restore the HUB's ready bit.
-                self.engine.schedule_at(handler_done + prop, Ev::HubReady { hub, port });
-                self.engine.schedule_at(done, Ev::CabPacketReady { cab, payload, flight });
+                let key = self.next_key(cab);
+                self.engine.schedule_at_keyed(handler_done + prop, key, Ev::HubReady { hub, port });
+                let key = self.next_key(cab);
+                self.engine.schedule_at_keyed(
+                    done,
+                    key,
+                    Ev::CabPacketReady { cab, payload, flight },
+                );
             }
             Item::Reply(reply) => {
                 // Circuit-open acks and status replies: the datalink
@@ -1558,7 +1765,7 @@ impl World {
         let decoded = Header::decode(&payload);
         let Ok((header, body)) = decoded else {
             self.cabs[cab].counters.corrupted_rx += 1;
-            self.pool.reclaim(payload);
+            self.cabs[cab].pool.reclaim(payload);
             return;
         };
         let peer = header.src_cab.index();
@@ -1570,7 +1777,7 @@ impl World {
             // unrelated stream; discard and count instead. Multicast
             // datagrams are exempt: their dst field is advisory.
             self.cabs[cab].counters.misrouted_rx += 1;
-            self.pool.reclaim(payload);
+            self.cabs[cab].pool.reclaim(payload);
             return;
         }
         if header.kind == PacketKind::Ack {
@@ -1609,6 +1816,22 @@ impl World {
         // The packet has been consumed; if this was the last reference
         // (unicast steady state), the buffer goes back to the pool for
         // the next send to encode into.
-        self.pool.reclaim(payload);
+        self.cabs[cab].pool.reclaim(payload);
+    }
+}
+
+/// Joins flight births against ends into a latency histogram. Map
+/// iteration order does not matter: histogram observation is
+/// commutative, which is exactly why the flight accounting is kept as
+/// two maps until metrics time.
+pub(crate) fn join_flights(
+    births: &HashMap<u64, Time>,
+    ends: &HashMap<u64, Time>,
+    out: &mut Histogram,
+) {
+    for (id, birth) in births {
+        if let Some(end) = ends.get(id) {
+            out.observe(end.saturating_since(*birth).nanos());
+        }
     }
 }

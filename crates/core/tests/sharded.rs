@@ -1,0 +1,317 @@
+//! Differential determinism tests for conservative-parallel execution:
+//! a plain sequential [`World`], a [`ShardedWorld`] with one shard, and
+//! a [`ShardedWorld`] with four shards run the same scheduled workload
+//! (optionally under chaos) and must agree on *everything observable*
+//! — metrics registries, invariant verdicts, deliveries, completions,
+//! and the canonically sorted telemetry stream.
+//!
+//! These are the acceptance tests of DESIGN.md §11: the parallel mode
+//! is only admissible because it is bit-identical to the sequential
+//! one, so any divergence here is a bug in the window protocol, the
+//! keyed event ordering, or the per-component state split — never
+//! "expected jitter".
+
+use nectar_core::invariants::{InvariantChecker, Violation};
+use nectar_core::prelude::*;
+use nectar_sim::chaos::{ChaosSchedule, Clause, Fault};
+use nectar_sim::telemetry::TelemetryEvent;
+use nectar_sim::time::{Dur, Time};
+use std::sync::Arc;
+
+/// Everything observable about one finished run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    events: u64,
+    now: Time,
+    outcome: nectar_core::world::QuiescenceOutcome,
+    metrics: String,
+    deliveries: Vec<Delivery>,
+    completions: Vec<(usize, u32, Time)>,
+    telemetry: Vec<TelemetryEvent>,
+    violations: Vec<Violation>,
+    faults: u64,
+}
+
+/// One scheduled application send.
+type Send = (Time, usize, AppSend);
+
+/// An expected stream delivery: `(src, dst, mailbox, payload)`.
+type ExpectedStream = (usize, usize, u16, Vec<u8>);
+
+/// A deterministic mixed workload over `topo`, scheduled entirely up
+/// front (no mid-run interaction, so it runs identically on a
+/// sequential world and on any shard count): a cross-cluster stream
+/// wave, a neighbour datagram wave, a hardware multicast, and a second
+/// stream wave from the other end of each flow.
+fn workload(topo: &Topology) -> (Vec<Send>, Vec<ExpectedStream>) {
+    let cabs = topo.cab_count();
+    let mut sends: Vec<Send> = Vec::new();
+    let mut expected: Vec<ExpectedStream> = Vec::new();
+    let mut stream = |sends: &mut Vec<Send>, at: Time, src: usize, dst: usize, round: usize| {
+        let mailbox = (100 + src * 4 + round) as u16;
+        let payload = vec![(13 + 29 * src + 5 * round) as u8; 240 + 410 * round + 31 * src];
+        let data: Arc<[u8]> = payload.clone().into();
+        sends.push((at, src, AppSend::Stream { dst, src_mailbox: 1, dst_mailbox: mailbox, data }));
+        expected.push((src, dst, mailbox, payload));
+    };
+    // Wave 1: every CAB streams to the CAB "half a system" away, so on
+    // any multi-HUB topology most flows cross HUB (and shard) edges.
+    for src in 0..cabs {
+        let dst = (src + cabs / 2) % cabs;
+        if dst == src {
+            continue;
+        }
+        stream(&mut sends, Time::from_micros(2 + src as u64), src, dst, 0);
+    }
+    // Wave 2: unreliable datagrams to the next CAB over.
+    for src in 0..cabs {
+        let dst = (src + 1) % cabs;
+        if dst == src {
+            continue;
+        }
+        let data: Arc<[u8]> = vec![(src * 7) as u8; 120].into();
+        sends.push((
+            Time::from_micros(150 + src as u64),
+            src,
+            AppSend::Datagram { dst, src_mailbox: 1, dst_mailbox: 70, data },
+        ));
+    }
+    // Wave 3: one hardware multicast fanning out across the system.
+    if cabs >= 4 {
+        let dsts = vec![1, cabs / 2, cabs - 1];
+        let data: Arc<[u8]> = vec![0xAB; 96].into();
+        sends.push((
+            Time::from_micros(300),
+            0,
+            AppSend::Multicast { dsts, src_mailbox: 1, dst_mailbox: 71, data },
+        ));
+    }
+    // Wave 4: return streams, overlapping wave 2/3 traffic.
+    for src in 0..cabs {
+        let dst = (src + cabs / 2) % cabs;
+        if dst == src {
+            continue;
+        }
+        stream(&mut sends, Time::from_micros(200 + 3 * src as u64), dst, src, 1);
+    }
+    (sends, expected)
+}
+
+/// Runs one topology/schedule case on the sequential world and on
+/// `shards` shards, returning both observations.
+fn differential(
+    topo: &Topology,
+    schedule: Option<&ChaosSchedule>,
+    shards: usize,
+) -> (Observed, Observed) {
+    let (sends, expected) = workload(topo);
+    let deadline = Time::from_millis(400);
+
+    // Sequential reference.
+    let mut seq = World::new(topo.clone(), SystemConfig::default());
+    seq.enable_observability();
+    if let Some(s) = schedule {
+        seq.set_chaos(s.clone());
+    }
+    for (at, cab, send) in &sends {
+        seq.schedule_send(*at, *cab, send.clone());
+    }
+    let mut seq_checker = InvariantChecker::new();
+    for (src, dst, mailbox, payload) in &expected {
+        seq_checker.expect_stream(*src, *dst, *mailbox, payload);
+    }
+    let (events, outcome) = seq.run_to_quiescence(deadline);
+    let metrics = seq.metrics().to_json();
+    let mut deliveries = seq.deliveries.clone();
+    canonical_delivery_sort(&mut deliveries);
+    let mut completions = seq.completions.clone();
+    completions.sort_unstable_by_key(|&(cab, id, at)| (at, cab, id));
+    let mut telemetry = seq.telemetry_events();
+    canonical_telemetry_sort(&mut telemetry);
+    let faults = seq.faults_injected;
+    let now = seq.now();
+    let violations = seq_checker.check(&mut seq);
+    let sequential = Observed {
+        events,
+        now,
+        outcome,
+        metrics,
+        deliveries,
+        completions,
+        telemetry,
+        violations,
+        faults,
+    };
+
+    // Sharded run.
+    let mut par = ShardedWorld::new(topo.clone(), SystemConfig::default(), shards);
+    par.enable_observability();
+    if let Some(s) = schedule {
+        par.set_chaos(s.clone());
+    }
+    for (at, cab, send) in &sends {
+        par.schedule_send(*at, *cab, send.clone());
+    }
+    let mut par_checker = InvariantChecker::new();
+    for (src, dst, mailbox, payload) in &expected {
+        par_checker.expect_stream(*src, *dst, *mailbox, payload);
+    }
+    let (events, outcome) = par.run_to_quiescence(deadline);
+    let metrics = par.metrics().to_json();
+    let deliveries = par.deliveries();
+    let completions = par.completions();
+    let telemetry = par.telemetry_events();
+    let faults = par.faults_injected();
+    let now = par.now();
+    let violations = par_checker.check(&mut par);
+    let sharded = Observed {
+        events,
+        now,
+        outcome,
+        metrics,
+        deliveries,
+        completions,
+        telemetry,
+        violations,
+        faults,
+    };
+    (sequential, sharded)
+}
+
+/// Asserts the two observations agree on everything, with targeted
+/// messages so a divergence names the first observable that split.
+fn assert_identical(case: &str, seq: &Observed, par: &Observed) {
+    assert!(
+        seq.metrics.contains("\"telemetry.dropped_events\": 0"),
+        "{case}: sequential telemetry ring overflowed; the comparison would be truncated"
+    );
+    assert_eq!(seq.events, par.events, "{case}: events processed diverged");
+    assert_eq!(seq.now, par.now, "{case}: final clock diverged");
+    assert_eq!(seq.outcome, par.outcome, "{case}: quiescence outcome diverged");
+    assert_eq!(seq.faults, par.faults, "{case}: injected fault count diverged");
+    assert_eq!(seq.violations, par.violations, "{case}: invariant verdicts diverged");
+    assert_eq!(seq.deliveries, par.deliveries, "{case}: deliveries diverged");
+    assert_eq!(seq.completions, par.completions, "{case}: completions diverged");
+    assert_eq!(seq.telemetry.len(), par.telemetry.len(), "{case}: telemetry event count diverged");
+    for (i, (a, b)) in seq.telemetry.iter().zip(&par.telemetry).enumerate() {
+        assert_eq!(a, b, "{case}: telemetry diverged at sorted index {i}");
+    }
+    if seq.metrics != par.metrics {
+        for (a, b) in seq.metrics.lines().zip(par.metrics.lines()) {
+            assert_eq!(a, b, "{case}: metrics diverged");
+        }
+        panic!("{case}: metrics diverged in length");
+    }
+}
+
+/// The chaos schedule the sharded runs must survive bit-identically:
+/// loss, corruption, duplication, and HUB command loss all at once.
+fn chaos() -> ChaosSchedule {
+    ChaosSchedule::new(0xD15EA5E)
+        .with(Clause::new(Fault::Loss { rate: 0.03 }))
+        .with(Clause::new(Fault::Corrupt { rate: 0.02 }))
+        .with(Clause::new(Fault::Duplicate { rate: 0.02 }))
+        .with(Clause::new(Fault::CommandLoss { rate: 0.01 }))
+}
+
+#[test]
+fn star_clean_one_shard_matches_sequential() {
+    let topo = Topology::single_hub(6, 16);
+    let (seq, par) = differential(&topo, None, 1);
+    assert_identical("star/clean/1", &seq, &par);
+}
+
+#[test]
+fn star_chaos_matches_sequential() {
+    // A single HUB clamps to one shard; the point is that the clamped
+    // path is still audit-identical under chaos.
+    let topo = Topology::single_hub(6, 16);
+    let s = chaos();
+    let (seq, par) = differential(&topo, Some(&s), 4);
+    assert_identical("star/chaos/4", &seq, &par);
+}
+
+#[test]
+fn mesh_clean_four_shards_matches_sequential() {
+    let topo = Topology::mesh2d(2, 2, 3, 16);
+    let (seq, par) = differential(&topo, None, 4);
+    assert_identical("mesh/clean/4", &seq, &par);
+}
+
+#[test]
+fn mesh_chaos_four_shards_matches_sequential() {
+    let topo = Topology::mesh2d(2, 2, 3, 16);
+    let s = chaos();
+    let (seq, par) = differential(&topo, Some(&s), 4);
+    assert_identical("mesh/chaos/4", &seq, &par);
+}
+
+#[test]
+fn fat_star_clean_four_shards_matches_sequential() {
+    let topo = Topology::fat_star(4, 4, 16);
+    let (seq, par) = differential(&topo, None, 4);
+    assert_identical("fat_star/clean/4", &seq, &par);
+}
+
+#[test]
+fn fat_star_chaos_four_shards_matches_sequential() {
+    let topo = Topology::fat_star(4, 4, 16);
+    let s = chaos();
+    let (seq, par) = differential(&topo, Some(&s), 4);
+    assert_identical("fat_star/chaos/4", &seq, &par);
+}
+
+#[test]
+fn fat_star_chaos_odd_shard_counts_match_sequential() {
+    // 3 shards over 5 HUBs: uneven contiguous blocks, and a shard
+    // count that does not divide the topology. Determinism must not
+    // depend on a "nice" partition.
+    let topo = Topology::fat_star(4, 4, 16);
+    let s = chaos();
+    let (seq, par) = differential(&topo, Some(&s), 3);
+    assert_identical("fat_star/chaos/3", &seq, &par);
+}
+
+#[test]
+fn shard_plan_is_contiguous_and_clamped() {
+    let topo = Topology::fat_star(8, 2, 16); // 9 HUBs
+    let plan = nectar_core::shard::ShardPlan::contiguous(&topo, 4);
+    assert_eq!(plan.shards(), 4);
+    let mut last = 0;
+    for h in 0..topo.hub_count() {
+        let s = plan.shard_of_hub(h);
+        assert!(s >= last, "contiguous blocks");
+        assert!(s < 4);
+        last = s;
+    }
+    // Every CAB lives with its attachment HUB.
+    for c in 0..topo.cab_count() {
+        let hub = topo.cab_attachment(c).0;
+        assert_eq!(plan.shard_of_cab(&topo, c), plan.shard_of_hub(hub));
+    }
+    // More shards than HUBs clamps.
+    let tiny = Topology::single_hub(2, 16);
+    assert_eq!(nectar_core::shard::ShardPlan::contiguous(&tiny, 64).shards(), 1);
+}
+
+/// A sharded world audits through the same `Auditable` trait as a
+/// sequential one — no parallel-mode carve-outs in the checker.
+#[test]
+fn sharded_world_is_auditable() {
+    let topo = Topology::mesh2d(2, 2, 2, 16);
+    let mut par = ShardedWorld::new(topo.clone(), SystemConfig::default(), 4);
+    let payload = vec![9u8; 1500];
+    let data: Arc<[u8]> = payload.clone().into();
+    par.schedule_send(
+        Time::from_micros(1),
+        0,
+        AppSend::Stream { dst: 5, src_mailbox: 1, dst_mailbox: 33, data },
+    );
+    let mut checker = InvariantChecker::new();
+    checker.expect_stream(0, 5, 33, &payload);
+    par.run_to_quiescence(Time::from_millis(100));
+    let v = checker.check(&mut par);
+    assert!(v.is_empty(), "{v:?}");
+    assert!(par.transport_quiescent());
+    let _ = Dur::ZERO; // keep the import used on all cfg paths
+}

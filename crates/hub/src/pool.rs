@@ -30,6 +30,16 @@ pub struct PoolStats {
     pub dropped: u64,
 }
 
+impl PoolStats {
+    /// Accumulates `other` into `self` (for summing per-CAB pools).
+    pub fn merge(&mut self, other: PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.reclaims += other.reclaims;
+        self.dropped += other.dropped;
+    }
+}
+
 /// A LIFO free-list of byte buffers.
 pub struct BufPool {
     free: Vec<Vec<u8>>,

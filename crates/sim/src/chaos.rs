@@ -517,9 +517,31 @@ impl ChaosStats {
 
 struct ClauseState {
     clause: Clause,
-    rng: Rng,
+    /// Seed root for this clause's per-component RNG streams.
+    seed: u64,
+    /// One RNG stream per component (CAB index, or a hub key from
+    /// [`hub_stream_key`]). Splitting the stream per component makes
+    /// every draw a function of that component's own arrival order
+    /// alone, so a sharded run — which interleaves *different
+    /// components* differently but never reorders one component's
+    /// arrivals — consumes identical streams.
+    rngs: HashMap<u32, Rng>,
     /// Gilbert–Elliott channel state per link key: `true` = bad.
     bad: HashMap<u32, bool>,
+}
+
+/// The RNG stream for component `comp` under a clause rooted at `seed`,
+/// created on first use. A free function (not a method) so callers can
+/// hold it alongside a borrow of the clause's other per-link state.
+fn stream(rngs: &mut HashMap<u32, Rng>, seed: u64, comp: u32) -> &mut Rng {
+    rngs.entry(comp).or_insert_with(|| {
+        Rng::seed_from(seed.wrapping_add((comp as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)))
+    })
+}
+
+/// Stream key for HUB-side draws, disjoint from the CAB index space.
+fn hub_stream_key(hub: u8, port: u8) -> u32 {
+    0x0100_0000 | ((hub as u32) << 8) | port as u32
 }
 
 /// A compiled, stateful [`ChaosSchedule`]: the world consults it on
@@ -531,9 +553,11 @@ pub struct ChaosInjector {
 }
 
 impl ChaosInjector {
-    /// Compiles `schedule`. Each clause gets its own RNG stream derived
-    /// from the master seed and its position, so adding a clause never
-    /// perturbs the draws of the others.
+    /// Compiles `schedule`. Each (clause, component) pair gets its own
+    /// RNG stream derived from the master seed, the clause position,
+    /// and the component id — adding a clause never perturbs the draws
+    /// of the others, and traffic on one component never perturbs the
+    /// draws made for another (the property sharded execution needs).
     pub fn new(schedule: ChaosSchedule) -> ChaosInjector {
         let states = schedule
             .clauses
@@ -541,9 +565,10 @@ impl ChaosInjector {
             .enumerate()
             .map(|(i, c)| ClauseState {
                 clause: *c,
-                rng: Rng::seed_from(
-                    schedule.seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                ),
+                seed: schedule
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                rngs: HashMap::new(),
                 bad: HashMap::new(),
             })
             .collect();
@@ -573,36 +598,38 @@ impl ChaosInjector {
             if !st.clause.live_at(now) || !st.clause.target.matches_cab(cab) {
                 continue;
             }
-            match st.clause.fault {
-                Fault::Loss { rate } => drop_iid |= st.rng.chance(rate),
+            let ClauseState { clause, seed, rngs, bad } = st;
+            let rng = stream(rngs, *seed, cab as u32);
+            match clause.fault {
+                Fault::Loss { rate } => drop_iid |= rng.chance(rate),
                 Fault::Burst { loss, p_bad, p_recover } => {
-                    let bad = st.bad.entry(ChaosTarget::link_key(cab as u32)).or_insert(false);
+                    let bad = bad.entry(ChaosTarget::link_key(cab as u32)).or_insert(false);
                     if *bad {
-                        if st.rng.chance(p_recover) {
+                        if rng.chance(p_recover) {
                             *bad = false;
                         }
-                    } else if st.rng.chance(p_bad) {
+                    } else if rng.chance(p_bad) {
                         *bad = true;
                     }
-                    if *bad && st.rng.chance(loss) {
+                    if *bad && rng.chance(loss) {
                         drop_burst = true;
                     }
                 }
-                Fault::Duplicate { rate } => v.duplicate |= st.rng.chance(rate),
+                Fault::Duplicate { rate } => v.duplicate |= rng.chance(rate),
                 Fault::Reorder { rate, max_delay } => {
-                    if st.rng.chance(rate) {
+                    if rng.chance(rate) {
                         let bound = max_delay.nanos().max(1);
-                        v.delay = Some(Dur::from_nanos(st.rng.range(1..=bound)));
+                        v.delay = Some(Dur::from_nanos(rng.range(1..=bound)));
                     }
                 }
                 Fault::Corrupt { rate } => {
-                    if len > 0 && st.rng.chance(rate) {
-                        let idx = st.rng.range(0..=(len as u64 - 1)) as usize;
-                        let bit = st.rng.range(0..=7) as u8;
+                    if len > 0 && rng.chance(rate) {
+                        let idx = rng.range(0..=(len as u64 - 1)) as usize;
+                        let bit = rng.range(0..=7) as u8;
                         v.corrupt = Some((idx, bit));
                     }
                 }
-                Fault::Flap { down, up } => drop_flap |= flap_down(now, st.clause.from, down, up),
+                Fault::Flap { down, up } => drop_flap |= flap_down(now, clause.from, down, up),
                 Fault::CommandLoss { .. } | Fault::PortFail => {}
             }
         }
@@ -650,8 +677,13 @@ impl ChaosInjector {
             // Guard order matters: the RNG draw comes before the
             // `!drop` check so every matching clause consumes its
             // stream on every arrival (determinism contract).
-            match st.clause.fault {
-                Fault::CommandLoss { rate } if is_command && st.rng.chance(rate) && !drop => {
+            let ClauseState { clause, seed, rngs, .. } = st;
+            match clause.fault {
+                Fault::CommandLoss { rate }
+                    if is_command
+                        && stream(rngs, *seed, hub_stream_key(hub, port)).chance(rate)
+                        && !drop =>
+                {
                     drop = true;
                     self.stats.cmd_drops += 1;
                 }
@@ -659,7 +691,7 @@ impl ChaosInjector {
                     drop = true;
                     self.stats.port_drops += 1;
                 }
-                Fault::Flap { down, up } if flap_down(now, st.clause.from, down, up) && !drop => {
+                Fault::Flap { down, up } if flap_down(now, clause.from, down, up) && !drop => {
                     drop = true;
                     self.stats.flap_drops += 1;
                 }

@@ -209,9 +209,36 @@ impl<E> Engine<E> {
     /// Panics if `at` is earlier than [`now`](Engine::now): the
     /// simulation cannot deliver events into its own past.
     pub fn schedule_at(&mut self, at: Time, payload: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert(at, seq, payload)
+    }
+
+    /// Schedules `payload` at `at` with a **caller-supplied tie-break
+    /// key** instead of the engine's FIFO sequence number.
+    ///
+    /// Same-instant events are delivered in ascending key order, no
+    /// matter in which order (or from which engine-feeding thread) they
+    /// were inserted. This is the primitive behind sharded execution:
+    /// when every event carries a key that is intrinsic to its *source
+    /// component* (not to the scheduling order), a partitioned run pops
+    /// the exact same sequence as a sequential one.
+    ///
+    /// Keys must be unique per instant across the whole simulation; the
+    /// world derives them as `(source component << 40) | per-source
+    /// counter`. Do not mix keyed and unkeyed scheduling in one engine —
+    /// FIFO sequence numbers and component keys order against each
+    /// other meaninglessly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](Engine::now).
+    pub fn schedule_at_keyed(&mut self, at: Time, key: u64, payload: E) -> EventId {
+        self.insert(at, key, payload)
+    }
+
+    fn insert(&mut self, at: Time, seq: u64, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past ({at} < {})", self.now);
         let slot = match self.free.pop() {
             Some(i) => {
                 let s = &mut self.slots[i as usize];
