@@ -1,0 +1,62 @@
+//! Criterion benches for the sharded runner's hot path: the batched
+//! barrier exchange (a full windowed run, whose per-window cost is the
+//! barrier crossing plus the outbox swap) and the SoA engine feeding
+//! it. The sharded numbers on a single-core CI host measure protocol
+//! *overhead*, not speedup — which is exactly what a microbench of the
+//! exchange should measure: how much a window costs when it buys no
+//! parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nectar_core::prelude::*;
+use nectar_sim::time::Time;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A small cross-shard-heavy workload: every CAB streams to its
+/// counterpart half the system away, so every flow crosses the root
+/// HUB and (under sharding) the exchange grid carries real batches.
+fn cross_traffic(topo: &Topology) -> Vec<(Time, usize, AppSend)> {
+    let cabs = topo.cab_count();
+    let mut sends = Vec::new();
+    for round in 0..4u64 {
+        for src in 0..cabs {
+            let dst = (src + cabs / 2) % cabs;
+            if dst == src {
+                continue;
+            }
+            let data: Arc<[u8]> = vec![(src as u64 + round) as u8; 512].into();
+            sends.push((
+                Time::from_micros(2 + 11 * round),
+                src,
+                AppSend::Stream { dst, src_mailbox: 1, dst_mailbox: 50, data },
+            ));
+        }
+    }
+    sends
+}
+
+/// End-to-end cost of the windowed run at 1 vs 4 shards on a fixed
+/// workload. The 1-shard run never enters the window protocol, so the
+/// ratio is the all-in price of barriers + batched exchange.
+fn bench_windowed_run(c: &mut Criterion) {
+    let topo = Topology::fat_star(4, 4, 16);
+    let sends = cross_traffic(&topo);
+    let mut g = c.benchmark_group("barrier_exchange");
+    g.sample_size(10);
+    for shards in [1usize, 4] {
+        g.bench_function(format!("fat_star_4x4_{shards}_shards"), |b| {
+            b.iter(|| {
+                let mut world = ShardedWorld::new(topo.clone(), SystemConfig::default(), shards);
+                for (at, cab, send) in &sends {
+                    world.schedule_send(*at, *cab, send.clone());
+                }
+                let (events, _) = world.run_to_quiescence(Time::from_millis(50));
+                black_box(events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_windowed_run);
+criterion_main!(benches);

@@ -29,6 +29,15 @@
 //! `--shards N` runs the conservative-parallel experiments (the e26
 //! scale family) with the simulated world split across `N` shard
 //! threads (see DESIGN.md §11); other experiments ignore it.
+//! `--repeat N` runs every selected experiment `N` times: the reported
+//! wall time is the median, and the harness asserts the simulated
+//! metrics are identical across repeats (wall-clock may jitter;
+//! simulated results may not).
+//! `--scaling` additionally measures the speedup curve — the e26
+//! topologies, clean and under chaos, at a sweep of shard counts, each
+//! point bit-compared against its 1-shard reference — and records it
+//! as the `scaling` array of `BENCH_sim.json` together with the host
+//! description (`docs/parallel.md`, "Measuring the speedup curve").
 //!
 //! Every experiment builds its own world, so they are embarrassingly
 //! parallel: with `--jobs N` the registry is drained by `N` scoped
@@ -57,10 +66,10 @@ struct Outcome {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: report [--list] [--jobs N] [--shards N] [--json PATH] \
-         [--metrics] [--doctor] [--compare BASELINE] [--trace EXP] \
-         [--trace-out PATH] [--chaos-seed N] [--chaos-spec PROG] \
-         [ids... | all]"
+        "usage: report [--list] [--jobs N] [--shards N] [--repeat N] \
+         [--scaling] [--json PATH] [--metrics] [--doctor] \
+         [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
+         [--chaos-seed N] [--chaos-spec PROG] [ids... | all]"
     );
     std::process::exit(2);
 }
@@ -68,6 +77,8 @@ fn usage() -> ! {
 fn main() {
     let mut jobs: usize = 1;
     let mut shards: usize = 1;
+    let mut repeat: usize = 1;
+    let mut scaling = false;
     let mut json_path = String::from("BENCH_sim.json");
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
@@ -106,6 +117,14 @@ fn main() {
                     usage();
                 }
             }
+            "--repeat" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                repeat = v.parse().unwrap_or_else(|_| usage());
+                if repeat == 0 {
+                    usage();
+                }
+            }
+            "--scaling" => scaling = true,
             "--json" => json_path = args.next().unwrap_or_else(|| usage()),
             "--metrics" => metrics = true,
             "--doctor" => doctor = true,
@@ -148,8 +167,16 @@ fn main() {
         }
     }
     let chaos = (chaos_seed, chaos_spec);
-    let results =
-        run_experiments(&selected, jobs, shards, metrics, doctor, trace_id.as_deref(), chaos);
+    let results = run_experiments(
+        &selected,
+        jobs,
+        shards,
+        repeat,
+        metrics,
+        doctor,
+        trace_id.as_deref(),
+        chaos,
+    );
     {
         // One write per run: the tables were rendered in the workers,
         // so the flush never interleaves with anything.
@@ -171,7 +198,15 @@ fn main() {
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
-    let json = render_json(&results, jobs, shards);
+    let points = if scaling {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let sweep = nectar_bench::experiments::scale::scaling_sweep(&[1, 2, 4, shards, cores]);
+        print_scaling(&sweep);
+        sweep
+    } else {
+        Vec::new()
+    };
+    let json = render_json(&results, jobs, shards, repeat, &points);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path} ({} experiments)", results.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
@@ -238,11 +273,17 @@ fn run_compare(baseline_path: &str, current_json: &str) -> bool {
 }
 
 /// Runs every selected experiment, on `jobs` worker threads when asked,
-/// and returns the outcomes in registry order.
+/// and returns the outcomes in registry order. With `repeat > 1` each
+/// experiment runs that many times: the reported wall time is the
+/// median, and the simulated observables (events, metrics registry)
+/// are asserted identical across repeats — the determinism contract
+/// applied to the harness itself.
+#[allow(clippy::too_many_arguments)]
 fn run_experiments(
     selected: &[Experiment],
     jobs: usize,
     shards: usize,
+    repeat: usize,
     metrics: bool,
     doctor: bool,
     trace_id: Option<&str>,
@@ -256,9 +297,31 @@ fn run_experiments(
         shards,
     };
     let execute = |id: &'static str, run: fn(&ExpCtx) -> Table| {
-        let t0 = Instant::now();
-        let table = run(&ctx_for(id));
-        let wall = t0.elapsed();
+        let mut walls = Vec::with_capacity(repeat);
+        let mut table: Option<Table> = None;
+        for _ in 0..repeat {
+            let t0 = Instant::now();
+            let t = run(&ctx_for(id));
+            walls.push(t0.elapsed());
+            if let Some(prev) = &table {
+                assert_eq!(
+                    prev.events, t.events,
+                    "{id}: event count changed between repeats — nondeterministic experiment"
+                );
+                let fp = |m: &Option<nectar_sim::metrics::MetricsRegistry>| {
+                    m.as_ref().map(|m| m.to_json())
+                };
+                assert_eq!(
+                    fp(&prev.metrics),
+                    fp(&t.metrics),
+                    "{id}: metrics changed between repeats — nondeterministic experiment"
+                );
+            }
+            table = Some(t);
+        }
+        walls.sort_unstable();
+        let wall = walls[walls.len() / 2];
+        let table = table.expect("repeat >= 1");
         // Render while still on the worker: Display walks every row,
         // note, and (under --metrics) histogram, and the result is the
         // only thing main has to push through the stdout lock.
@@ -304,13 +367,90 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// CPUs online on the host (as opposed to CPUs this process may use).
+/// Linux-only; elsewhere falls back to the usable count.
+fn cpus_online(usable: usize) -> usize {
+    std::fs::read_to_string("/sys/devices/system/cpu/online")
+        .ok()
+        .and_then(|s| {
+            // "0-3,5,7-8" → 6
+            let mut n = 0usize;
+            for part in s.trim().split(',') {
+                match part.split_once('-') {
+                    Some((a, b)) => {
+                        let (a, b) = (a.parse::<usize>().ok()?, b.parse::<usize>().ok()?);
+                        n += b.checked_sub(a)? + 1;
+                    }
+                    None => {
+                        part.parse::<usize>().ok()?;
+                        n += 1;
+                    }
+                }
+            }
+            Some(n)
+        })
+        .unwrap_or(usable)
+}
+
+/// The `host` member of `BENCH_sim.json`: the structured facts a later
+/// `--compare` needs to decide whether wall-clock numbers from this
+/// run are comparable at all. `cores` is what the process may actually
+/// use (affinity-aware); `pinned` records whether that is fewer than
+/// the machine has online.
+fn host_json(repeat: usize) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let online = cpus_online(cores);
+    format!(
+        "{{\"cores\": {cores}, \"online\": {online}, \"pinned\": {}, \"repeat\": {repeat}}}",
+        cores < online
+    )
+}
+
+/// Prints the speedup curve as a table on stdout.
+fn print_scaling(points: &[nectar_bench::experiments::scale::ScalingPoint]) {
+    println!("speedup curve (per point vs its 1-shard reference)");
+    println!(
+        "{:<6} {:<18} {:>6} {:>6} {:>10} {:>9} {:>8} {:>11} {:>9}  deterministic",
+        "exp", "topology", "shards", "chaos", "events", "wall", "speedup", "barrier", "exchanged"
+    );
+    for p in points {
+        let reference = points
+            .iter()
+            .find(|r| r.experiment == p.experiment && r.chaos == p.chaos && r.shards == 1)
+            .expect("sweep always includes the 1-shard reference");
+        println!(
+            "{:<6} {:<18} {:>6} {:>6} {:>10} {:>8.1}ms {:>7.2}x {:>9.1}ms {:>9}  {}",
+            p.experiment,
+            p.topology,
+            p.shards,
+            p.chaos,
+            p.events,
+            p.wall_s * 1e3,
+            reference.wall_s / p.wall_s.max(1e-9),
+            p.barrier_wait_ns as f64 / 1e6,
+            p.exchanged_events,
+            if p.deterministic { "yes" } else { "NO — DETERMINISM VIOLATED" },
+        );
+    }
+    println!();
+}
+
 /// Renders the per-experiment results as `BENCH_sim.json`: wall time,
 /// events processed, events/sec, and table notes (the e26 speedup and
-/// determinism verdicts live there) for every experiment plus totals.
-fn render_json(results: &[Outcome], jobs: usize, shards: usize) -> String {
+/// determinism verdicts live there) for every experiment plus totals,
+/// the structured host description, and (under `--scaling`) the
+/// measured speedup curve.
+fn render_json(
+    results: &[Outcome],
+    jobs: usize,
+    shards: usize,
+    repeat: usize,
+    scaling: &[nectar_bench::experiments::scale::ScalingPoint],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
+    s.push_str(&format!("  \"host\": {},\n", host_json(repeat)));
     let total_events: u64 = results.iter().map(|r| r.table.events).sum();
     let total_wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
     s.push_str(&format!("  \"total_events\": {total_events},\n"));
@@ -342,6 +482,31 @@ fn render_json(results: &[Outcome], jobs: usize, shards: usize) -> String {
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
+    if !scaling.is_empty() {
+        s.push_str(",\n  \"scaling\": [\n");
+        for (i, p) in scaling.iter().enumerate() {
+            let eps = if p.wall_s > 0.0 { p.events as f64 / p.wall_s } else { 0.0 };
+            s.push_str(&format!(
+                "    {{\"experiment\": \"{}\", \"topology\": \"{}\", \"shards\": {}, \
+                 \"chaos\": {}, \"events\": {}, \"wall_ms\": {:.3}, \
+                 \"events_per_sec\": {eps:.0}, \"windows\": {}, \"barrier_wait_ns\": {}, \
+                 \"exchanged_events\": {}, \"deterministic\": {}}}{}\n",
+                json_escape(p.experiment),
+                json_escape(p.topology),
+                p.shards,
+                p.chaos,
+                p.events,
+                p.wall_s * 1e3,
+                p.windows,
+                p.barrier_wait_ns,
+                p.exchanged_events,
+                p.deterministic,
+                if i + 1 < scaling.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]");
+    }
+    s.push_str("\n}\n");
     s
 }

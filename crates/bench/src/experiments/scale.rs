@@ -20,6 +20,7 @@ use crate::experiments::ExpCtx;
 use crate::table::Table;
 use nectar_core::prelude::*;
 use nectar_core::world::AppSend;
+use nectar_sim::chaos::{ChaosSchedule, Clause, Fault};
 use nectar_sim::time::Time;
 use std::sync::Arc;
 use std::time::Instant;
@@ -79,21 +80,27 @@ fn scaled_workload(topo: &Topology) -> Vec<(Time, usize, AppSend)> {
 }
 
 /// One timed run of the workload at `shards` shards. Returns the
-/// events processed, the wall seconds, and the metrics JSON (the
-/// determinism fingerprint). Only the `absorb` run feeds the table's
-/// metrics/trace so a reference run never double-counts.
+/// events processed, the wall seconds, the metrics JSON (the
+/// determinism fingerprint), and the runner's runtime counters
+/// (windows, barrier wait, exchanged events — see
+/// [`ShardedWorld::runtime_metrics`]). Only the `absorb` run feeds the
+/// table's metrics/trace so a reference run never double-counts.
 fn timed_run(
     topo: &Topology,
     sends: &[(Time, usize, AppSend)],
     shards: usize,
+    chaos: Option<&ChaosSchedule>,
     ctx: &ExpCtx,
     table: &mut Table,
     absorb: bool,
-) -> (u64, f64, String) {
+) -> (u64, f64, String, nectar_sim::metrics::MetricsRegistry) {
     let t0 = Instant::now();
     let mut world = ShardedWorld::new(topo.clone(), SystemConfig::default(), shards);
     if ctx.observing() {
         world.enable_observability();
+    }
+    if let Some(s) = chaos {
+        world.set_chaos(s.clone());
     }
     for (at, cab, send) in sends {
         world.schedule_send(*at, *cab, send.clone());
@@ -102,14 +109,14 @@ fn timed_run(
     let wall = t0.elapsed().as_secs_f64();
     let fingerprint = world.metrics().to_json();
     assert!(
-        world.transport_quiescent(),
+        chaos.is_some() || world.transport_quiescent(),
         "{}: scale workload failed to drain — deadline too tight",
         table.id
     );
     if absorb {
         ctx.absorb_sharded(table, &world);
     }
-    (events, wall, fingerprint)
+    (events, wall, fingerprint, world.runtime_metrics())
 }
 
 /// Shared runner: main run at `ctx.shards`, plus (when parallel) the
@@ -123,7 +130,8 @@ fn run_scale(id: &'static str, title: &str, topo: Topology, ctx: &ExpCtx) -> Tab
     let sends = scaled_workload(&topo);
     let config = format!("{hubs} HUBs / {cabs} CABs / {} sends", sends.len());
 
-    let (events, wall, fingerprint) = timed_run(&topo, &sends, shards, ctx, &mut table, true);
+    let (events, wall, fingerprint, runtime) =
+        timed_run(&topo, &sends, shards, None, ctx, &mut table, true);
     table.record_events(events);
     let eps = events as f64 / wall.max(1e-9);
     table.row(&[
@@ -135,8 +143,18 @@ fn run_scale(id: &'static str, title: &str, topo: Topology, ctx: &ExpCtx) -> Tab
     ]);
 
     if shards > 1 {
-        let (ref_events, ref_wall, ref_fingerprint) =
-            timed_run(&topo, &sends, 1, ctx, &mut table, false);
+        let (windows, wait_ns, exchanged) = (
+            runtime.counter("runner.windows"),
+            runtime.counter("runner.barrier_wait_ns"),
+            runtime.counter("runner.exchanged_events"),
+        );
+        table.note(format!(
+            "runner: {windows} windows, {:.1} ms total barrier wait, \
+             {exchanged} cross-shard events exchanged",
+            wait_ns as f64 / 1e6
+        ));
+        let (ref_events, ref_wall, ref_fingerprint, _) =
+            timed_run(&topo, &sends, 1, None, ctx, &mut table, false);
         table.record_events(ref_events);
         let ref_eps = ref_events as f64 / ref_wall.max(1e-9);
         table.row(&[
@@ -185,4 +203,87 @@ pub fn e26_fat_star(ctx: &ExpCtx) -> Table {
 /// every contiguous block — the stress case for the window barrier.
 pub fn e26b_mesh(ctx: &ExpCtx) -> Table {
     run_scale("e26b", "scale: sharded 4x4 mesh (64 CABs)", Topology::mesh2d(4, 4, 4, 16), ctx)
+}
+
+/// One measured point on the speedup curve produced by
+/// [`scaling_sweep`].
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Experiment id (`e26`, `e26b`).
+    pub experiment: &'static str,
+    /// Human-readable topology description.
+    pub topology: &'static str,
+    /// Shard count this point ran at (clamped to the HUB count).
+    pub shards: usize,
+    /// Whether the run carried the sweep's chaos schedule.
+    pub chaos: bool,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// YAWNS windows executed (0 for the 1-shard run, which skips the
+    /// window protocol entirely).
+    pub windows: u64,
+    /// Total nanoseconds all shards spent waiting at barriers.
+    pub barrier_wait_ns: u64,
+    /// Cross-shard events moved through the batched exchange.
+    pub exchanged_events: u64,
+    /// Whether this point's metrics registry is bit-identical to the
+    /// 1-shard reference for the same topology and schedule.
+    pub deterministic: bool,
+}
+
+/// Measures the speedup curve behind `report --scaling`: each e26
+/// topology, clean and under a fixed chaos schedule, at every shard
+/// count in `shard_counts` (deduplicated, clamped to the HUB count, 1
+/// always included as the reference). Every multi-shard point is
+/// bit-compared against the 1-shard reference — the curve is only
+/// worth plotting if it measures the *same* computation at every x.
+pub fn scaling_sweep(shard_counts: &[usize]) -> Vec<ScalingPoint> {
+    let chaos = ChaosSchedule::new(0xC0FFEE)
+        .with(Clause::new(Fault::Loss { rate: 0.02 }))
+        .with(Clause::new(Fault::Duplicate { rate: 0.01 }));
+    let topologies: [(&'static str, &'static str, Topology); 2] = [
+        ("e26", "fat_star(8,8,16)", Topology::fat_star(8, 8, 16)),
+        ("e26b", "mesh2d(4,4,4,16)", Topology::mesh2d(4, 4, 4, 16)),
+    ];
+    let ctx = ExpCtx { shards: 1, ..ExpCtx::default() };
+    let mut points = Vec::new();
+    for (id, desc, topo) in topologies {
+        let hubs = topo.hub_count();
+        let mut counts: Vec<usize> =
+            shard_counts.iter().map(|&s| s.clamp(1, hubs)).chain(std::iter::once(1)).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        let sends = scaled_workload(&topo);
+        for use_chaos in [false, true] {
+            let schedule = use_chaos.then_some(&chaos);
+            let mut reference: Option<String> = None;
+            for &shards in &counts {
+                let mut scratch = Table::new(id, "scaling sweep", &[]);
+                let (events, wall_s, fingerprint, runtime) =
+                    timed_run(&topo, &sends, shards, schedule, &ctx, &mut scratch, false);
+                let deterministic = match &reference {
+                    None => {
+                        reference = Some(fingerprint);
+                        true
+                    }
+                    Some(r) => *r == fingerprint,
+                };
+                points.push(ScalingPoint {
+                    experiment: id,
+                    topology: desc,
+                    shards,
+                    chaos: use_chaos,
+                    events,
+                    wall_s,
+                    windows: runtime.counter("runner.windows"),
+                    barrier_wait_ns: runtime.counter("runner.barrier_wait_ns"),
+                    exchanged_events: runtime.counter("runner.exchanged_events"),
+                    deterministic,
+                });
+            }
+        }
+    }
+    points
 }

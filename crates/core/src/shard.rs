@@ -18,6 +18,15 @@
 //!    is what lookahead means), and
 //! 3. exchange outboxes at a barrier and ingest.
 //!
+//! The exchange is **batched**: each window moves whole
+//! per-destination vectors through a lock-uncontended N×N slot grid
+//! (one buffer swap per non-empty source→destination pair, zero
+//! allocation in steady state) instead of pushing events one at a
+//! time through shared mutexes. The barrier itself backs off in three
+//! stages — spin, yield, park — and accounts the nanoseconds every
+//! shard spends waiting, so `nectar-doctor` and `report --scaling`
+//! can attribute synchronization overhead precisely.
+//!
 //! Determinism is non-negotiable and does not come from the window
 //! protocol alone: it comes from **keyed event ordering**. Every
 //! event carries a tie-break key derived from its source component
@@ -28,6 +37,16 @@
 //! count produces bit-identical metrics, invariant verdicts, and
 //! (canonically sorted) telemetry to a plain sequential run.
 //!
+//! The same property makes **rebalancing** sound: since *any*
+//! partition of the components replays the identical event order, the
+//! partition may change between windows without changing a single
+//! observable. [`RebalancePolicy`] moves whole HUB clusters between
+//! shards at window-barrier epochs — state, pending events (with
+//! their timestamps and keys preserved verbatim), timer tables, and
+//! chaos RNG streams — steered by deterministic simulated-time load
+//! attribution, so a skewed run repartitions itself identically on
+//! every rerun.
+//!
 //! [`HubConfig::lookahead`]: nectar_hub::config::HubConfig::lookahead
 
 use crate::topology::Topology;
@@ -37,15 +56,16 @@ use nectar_sim::metrics::{Histogram, MetricsRegistry};
 use nectar_sim::telemetry::TelemetryEvent;
 use nectar_sim::time::{Dur, Time};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Maps every HUB (and, through its attachment, every CAB) to a
 /// shard. Shards are contiguous HUB ranges: HUB indices produced by
 /// the [`Topology`] constructors place topologically close clusters
 /// at adjacent indices, so contiguous blocks keep most fiber edges
 /// internal.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardPlan {
     shard_of_hub: Vec<usize>,
     shards: usize,
@@ -61,6 +81,42 @@ impl ShardPlan {
         let hubs = topo.hub_count();
         let shards = shards.clamp(1, hubs);
         let shard_of_hub = (0..hubs).map(|h| h * shards / hubs).collect();
+        ShardPlan { shard_of_hub, shards }
+    }
+
+    /// Partitions `topo`'s HUBs into `shards` contiguous blocks of
+    /// near-equal **weight** (one weight per HUB cluster; a greedy
+    /// prefix scan closes each shard once its share of the total is
+    /// reached, while guaranteeing every shard at least one HUB).
+    /// Equal weights reproduce [`contiguous`](ShardPlan::contiguous)'s
+    /// near-equal-size blocks; skewed weights shrink the hot shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weights.len() == topo.hub_count()`.
+    pub fn weighted(topo: &Topology, shards: usize, weights: &[u64]) -> ShardPlan {
+        let hubs = topo.hub_count();
+        assert_eq!(weights.len(), hubs, "one weight per HUB");
+        let shards = shards.clamp(1, hubs);
+        // +1 per HUB keeps zero-weight prefixes from collapsing every
+        // idle cluster into shard 0.
+        let total: u128 = weights.iter().map(|&w| w as u128 + 1).sum();
+        let mut shard_of_hub = vec![0usize; hubs];
+        let mut s = 0usize;
+        let mut cum: u128 = 0;
+        for h in 0..hubs {
+            shard_of_hub[h] = s;
+            cum += weights[h] as u128 + 1;
+            let hubs_left = hubs - h - 1;
+            let shards_left = shards - s - 1;
+            // Close shard `s` when it holds its proportional share —
+            // or when the remaining shards need every remaining HUB.
+            if shards_left > 0
+                && (hubs_left == shards_left || cum * shards as u128 >= (s as u128 + 1) * total)
+            {
+                s += 1;
+            }
+        }
         ShardPlan { shard_of_hub, shards }
     }
 
@@ -80,6 +136,38 @@ impl ShardPlan {
     }
 }
 
+/// When (and how) a running [`ShardedWorld`] repartitions itself.
+///
+/// Plan changes only ever happen at window-barrier epochs, where
+/// migration is provably order-preserving (see the module docs); every
+/// policy is a pure function of simulated-time quantities, so the
+/// window at which a rebalance fires — and the plan it installs — is
+/// identical on every rerun.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum RebalancePolicy {
+    /// Never repartition (the default).
+    #[default]
+    Off,
+    /// Every `every_windows` windows, recompute a weighted plan from
+    /// the per-cluster busy time observed *in that epoch* and adopt it
+    /// if it improves the heaviest shard's load by at least 10%
+    /// (hysteresis: marginal wins don't pay the migration and
+    /// thread-respawn cost).
+    Adaptive {
+        /// Epoch length in windows (clamped to at least 1).
+        every_windows: u64,
+    },
+    /// Switch to `plan` once `window` windows have run — the test and
+    /// experiment hook for forcing a mid-run plan change at a chosen
+    /// epoch. `window` must be at least 1.
+    ForceAt {
+        /// Total-window count at which the switch happens.
+        window: u64,
+        /// The plan to install.
+        plan: ShardPlan,
+    },
+}
+
 /// Per-shard routing context carried by a shard's [`World`]: where
 /// every HUB lives, which shard this world is, and the per-destination
 /// outbox filled during a window and exchanged at the barrier.
@@ -89,69 +177,156 @@ pub(crate) struct ShardCtx {
     pub(crate) outbox: Vec<Vec<(Time, u64, Ev)>>,
 }
 
-/// A sense-counting spin barrier. `std::sync::Barrier` parks threads
-/// on a condvar; at hundreds of thousands of sub-microsecond windows
-/// per run, wakeup latency would dominate the simulation itself.
-/// Workers here are busy by construction (they hold a core for the
-/// whole run), so spinning with a yield fallback is the right trade.
-struct SpinBarrier {
+/// Spin iterations before the first yield. Windows are sub-microsecond
+/// when shards hold their own cores, so the fast path must resolve in
+/// the spin stage; 2^14 pause-loop iterations is a few microseconds —
+/// past any healthy window, so reaching yield means a genuinely
+/// stalled peer (page fault, preemption), not an ordinary imbalance.
+const SPIN_LIMIT: u32 = 1 << 14;
+
+/// Yields between the spin stage and parking. Each yield donates the
+/// timeslice; a peer that still hasn't arrived after these is blocked
+/// on something long enough that a condvar park (microseconds to wake)
+/// no longer dominates.
+const YIELD_LIMIT: u32 = 64;
+
+/// A three-stage backoff barrier: spin, then yield, then park on a
+/// condvar — and it reports how long each waiter waited.
+///
+/// One barrier serves both regimes the old code split across two
+/// types. When every shard holds a core, waiters resolve in the spin
+/// stage at ~100 ns per crossing. When shards outnumber cores,
+/// spinning burns the timeslice the *arriving* thread needs, so the
+/// spin stage is skipped entirely (`spin_limit == 0`) and waiters
+/// yield briefly, then park. The returned wait time feeds the
+/// `barrier_wait_ns` runtime counters — the number `report --scaling`
+/// and `nectar-doctor` use to attribute synchronization overhead.
+struct BackoffBarrier {
     n: usize,
+    spin_limit: u32,
     count: AtomicUsize,
     generation: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
 }
 
-impl SpinBarrier {
-    fn new(n: usize) -> SpinBarrier {
-        SpinBarrier { n, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+impl BackoffBarrier {
+    fn new(n: usize) -> BackoffBarrier {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        BackoffBarrier {
+            n,
+            spin_limit: if n <= cores { SPIN_LIMIT } else { 0 },
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
     }
 
-    fn wait(&self) {
+    /// Waits for all `n` threads; returns the nanoseconds this caller
+    /// spent waiting (0 for the last arriver, which never waits).
+    fn wait(&self) -> u64 {
         let gen = self.generation.load(Ordering::SeqCst);
         if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
             self.count.store(0, Ordering::SeqCst);
+            // Publish the new generation under the park lock so a
+            // waiter that checked the generation and is about to park
+            // cannot miss the wakeup.
+            let guard = self.lock.lock().expect("no panics hold this lock");
             self.generation.fetch_add(1, Ordering::SeqCst);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::SeqCst) == gen {
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(4096) {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
+            drop(guard);
+            self.cv.notify_all();
+            return 0;
+        }
+        let start = Instant::now();
+        let mut tries = 0u32;
+        while self.generation.load(Ordering::SeqCst) == gen {
+            tries = tries.wrapping_add(1);
+            if tries <= self.spin_limit {
+                std::hint::spin_loop();
+            } else if tries <= self.spin_limit + YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                let mut guard = self.lock.lock().expect("no panics hold this lock");
+                while self.generation.load(Ordering::SeqCst) == gen {
+                    guard = self.cv.wait(guard).expect("no panics hold this lock");
                 }
+                break;
             }
         }
+        start.elapsed().as_nanos() as u64
     }
 }
 
-/// The window barrier, picked per run: spin when every shard can hold
-/// its own core, park on a condvar when shards outnumber cores.
-/// Spinning while oversubscribed is pathological — a waiting thread
-/// burns the timeslice the *arriving* thread needs, so every window
-/// costs scheduler round-trips instead of nanoseconds.
-enum WindowBarrier {
-    Spin(SpinBarrier),
-    Block(std::sync::Barrier),
+/// One cell of the batched exchange grid: the window's event batch
+/// from one source shard to one destination shard.
+///
+/// The mutex is never contended — the window protocol's barriers
+/// separate the producer phase (source `i` touches only row `i`,
+/// between run-window and the exchange barrier) from the consumer
+/// phase (destination `d` touches only column `d`, after it) — it
+/// exists to keep the grid in safe Rust. The `filled` flag spares the
+/// consumer a lock acquisition per empty cell, which is most cells:
+/// cross-shard traffic is sparse by construction (topology-local
+/// workloads are the whole point of the partition).
+struct ExchangeCell {
+    filled: AtomicBool,
+    batch: Mutex<Vec<(Time, u64, Ev)>>,
 }
 
-impl WindowBarrier {
-    fn new(n: usize) -> WindowBarrier {
-        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-        if n <= cores {
-            WindowBarrier::Spin(SpinBarrier::new(n))
-        } else {
-            WindowBarrier::Block(std::sync::Barrier::new(n))
-        }
+/// The N×N grid of [`ExchangeCell`]s. Buffer capacities ping-pong
+/// between each world's outbox and its row's cells (a swap moves a
+/// full buffer in and an empty-but-warm buffer back), so the steady
+/// state allocates nothing and copies events exactly once — from the
+/// producer's buffer into the consumer's engine.
+struct ExchangeGrid {
+    n: usize,
+    cells: Vec<ExchangeCell>,
+}
+
+impl ExchangeGrid {
+    fn new(n: usize) -> ExchangeGrid {
+        let cells = (0..n * n)
+            .map(|_| ExchangeCell { filled: AtomicBool::new(false), batch: Mutex::new(Vec::new()) })
+            .collect();
+        ExchangeGrid { n, cells }
     }
 
-    fn wait(&self) {
-        match self {
-            WindowBarrier::Spin(b) => b.wait(),
-            WindowBarrier::Block(b) => {
-                b.wait();
-            }
-        }
+    fn cell(&self, src: usize, dst: usize) -> &ExchangeCell {
+        &self.cells[src * self.n + dst]
     }
+}
+
+/// How one shard's epoch ended.
+#[derive(Clone, Copy, Debug)]
+enum EpochExit {
+    /// The global minimum event time: `u64::MAX` (quiescent) or past
+    /// the deadline. Every shard computes the same value.
+    Done(u64),
+    /// The epoch's window budget ran out — the main thread gets
+    /// single-threaded access for a rebalance decision.
+    Budget,
+}
+
+/// One shard worker's accounting for one epoch.
+struct EpochResult {
+    events: u64,
+    windows: u64,
+    wait_ns: u64,
+    exchanged: u64,
+    exit: EpochExit,
+}
+
+/// Wall-clock/runtime counters for the parallel runner itself. Kept
+/// strictly apart from [`ShardedWorld::metrics`]: the simulated
+/// registry is bit-compared against sequential runs, and barrier wait
+/// times are properties of the host, not of the simulated system.
+#[derive(Clone, Debug, Default)]
+struct RuntimeStats {
+    windows: u64,
+    rebalances: u64,
+    barrier_wait_ns: Vec<u64>,
+    exchanged_events: Vec<u64>,
 }
 
 /// A [`World`] partitioned across OS threads, with the same API
@@ -183,6 +358,12 @@ pub struct ShardedWorld {
     worlds: Vec<World>,
     /// Window width: `HubConfig::lookahead()` + fiber propagation.
     lookahead: Dur,
+    policy: RebalancePolicy,
+    /// Cumulative per-cluster weights at the last adaptive epoch, so
+    /// each epoch rebalances on the weight *deltas* (recent load, not
+    /// run-lifetime totals).
+    prev_weights: Vec<u64>,
+    runtime: RuntimeStats,
 }
 
 impl ShardedWorld {
@@ -192,10 +373,24 @@ impl ShardedWorld {
     pub fn new(topo: Topology, cfg: SystemConfig, shards: usize) -> ShardedWorld {
         let plan = Arc::new(ShardPlan::contiguous(&topo, shards));
         let lookahead = cfg.hub.lookahead() + cfg.propagation;
-        let worlds = (0..plan.shards())
+        let worlds: Vec<World> = (0..plan.shards())
             .map(|i| World::new_shard(topo.clone(), cfg.clone(), Arc::clone(&plan), i))
             .collect();
-        ShardedWorld { topo, plan, worlds, lookahead }
+        let n = worlds.len();
+        let prev_weights = vec![0; topo.hub_count()];
+        ShardedWorld {
+            topo,
+            plan,
+            worlds,
+            lookahead,
+            policy: RebalancePolicy::Off,
+            prev_weights,
+            runtime: RuntimeStats {
+                barrier_wait_ns: vec![0; n],
+                exchanged_events: vec![0; n],
+                ..RuntimeStats::default()
+            },
+        }
     }
 
     /// Number of shards actually running.
@@ -208,9 +403,15 @@ impl ShardedWorld {
         &self.topo
     }
 
-    /// The partition in force.
+    /// The partition in force (rebalancing replaces it mid-run).
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Sets the rebalancing policy. Takes effect at the next epoch
+    /// boundary; see [`RebalancePolicy`].
+    pub fn set_rebalance(&mut self, policy: RebalancePolicy) {
+        self.policy = policy;
     }
 
     /// The window width: the lookahead every shard may run ahead of
@@ -281,9 +482,35 @@ impl ShardedWorld {
         n
     }
 
+    /// Window budget for the next epoch: how many windows the workers
+    /// may run before handing the main thread a rebalance opportunity.
+    fn epoch_budget(&self) -> u64 {
+        match &self.policy {
+            RebalancePolicy::Off => u64::MAX,
+            RebalancePolicy::Adaptive { every_windows } => (*every_windows).max(1),
+            RebalancePolicy::ForceAt { window, .. } => {
+                if self.runtime.windows < *window {
+                    *window - self.runtime.windows
+                } else {
+                    u64::MAX
+                }
+            }
+        }
+    }
+
     /// The threaded YAWNS loop. On return every shard has processed
     /// exactly the events a sequential run would process up to
     /// `deadline` (inclusive); clocks are *not* yet normalized.
+    ///
+    /// Structured as a sequence of epochs: worker threads run the
+    /// window protocol for at most [`epoch_budget`] windows, then
+    /// join, giving the main thread single-threaded access to every
+    /// shard world for a rebalance decision; fresh workers then
+    /// continue from the exact barrier state. With
+    /// [`RebalancePolicy::Off`] the budget is unbounded and exactly
+    /// one epoch runs.
+    ///
+    /// [`epoch_budget`]: ShardedWorld::epoch_budget
     fn drive(&mut self, deadline: Time) -> (u64, QuiescenceOutcome) {
         let n = self.worlds.len();
         let lookahead = self.lookahead.nanos().max(1);
@@ -292,66 +519,167 @@ impl ShardedWorld {
         // semantics), anything later stays queued.
         let cap = deadline_ns.saturating_add(1);
         let peeks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-        let inboxes: Vec<Mutex<Vec<(Time, u64, Ev)>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let barrier = WindowBarrier::new(n);
-        let (peeks, inboxes, barrier) = (&peeks, &inboxes, &barrier);
-        let mut results: Vec<(u64, u64)> = Vec::with_capacity(n);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .worlds
-                .iter_mut()
-                .enumerate()
-                .map(|(i, world)| {
-                    s.spawn(move || {
-                        let mut events = 0u64;
-                        loop {
-                            let peek = world.next_event_time().map_or(u64::MAX, |t| t.nanos());
-                            peeks[i].store(peek, Ordering::SeqCst);
-                            barrier.wait();
-                            // Every worker reads the same snapshot (no
-                            // store happens until after the *next*
-                            // barrier), so every worker computes the
-                            // same T and the loop exits in lockstep.
-                            let t = peeks
-                                .iter()
-                                .map(|p| p.load(Ordering::SeqCst))
-                                .min()
-                                .expect("at least one shard");
-                            if t == u64::MAX || t > deadline_ns {
-                                return (events, t);
-                            }
-                            let end = Time::from_nanos(t.saturating_add(lookahead).min(cap));
-                            events += world.run_window(end);
-                            for (dst, inbox) in inboxes.iter().enumerate() {
-                                if dst == i {
-                                    continue;
+        let grid = ExchangeGrid::new(n);
+        let barrier = BackoffBarrier::new(n);
+        let (peeks, grid, barrier) = (&peeks, &grid, &barrier);
+        let mut total_events = 0u64;
+        loop {
+            let budget = self.epoch_budget();
+            let mut results: Vec<EpochResult> = Vec::with_capacity(n);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .worlds
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, world)| {
+                        s.spawn(move || {
+                            let mut res = EpochResult {
+                                events: 0,
+                                windows: 0,
+                                wait_ns: 0,
+                                exchanged: 0,
+                                exit: EpochExit::Budget,
+                            };
+                            loop {
+                                let peek = world.next_event_time().map_or(u64::MAX, |t| t.nanos());
+                                peeks[i].store(peek, Ordering::SeqCst);
+                                res.wait_ns += barrier.wait();
+                                // Every worker reads the same snapshot
+                                // (no store happens until after the
+                                // *next* barrier), so every worker
+                                // computes the same T and the loop
+                                // exits in lockstep.
+                                let t = peeks
+                                    .iter()
+                                    .map(|p| p.load(Ordering::SeqCst))
+                                    .min()
+                                    .expect("at least one shard");
+                                if t == u64::MAX || t > deadline_ns {
+                                    res.exit = EpochExit::Done(t);
+                                    return res;
                                 }
-                                let out = world.drain_outbox(dst);
-                                if !out.is_empty() {
-                                    inbox.lock().expect("no panics hold this lock").extend(out);
+                                let end = Time::from_nanos(t.saturating_add(lookahead).min(cap));
+                                res.events += world.run_window(end);
+                                // Producer phase: swap every non-empty
+                                // outbox into this shard's row of the
+                                // grid. The swapped-in buffer is the
+                                // (empty, warm) one the consumer left
+                                // behind last round.
+                                for dst in 0..n {
+                                    if dst != i && world.outbox_filled(dst) {
+                                        let cell = grid.cell(i, dst);
+                                        let mut batch =
+                                            cell.batch.lock().expect("no panics hold this lock");
+                                        world.swap_outbox(dst, &mut batch);
+                                        res.exchanged += batch.len() as u64;
+                                        drop(batch);
+                                        cell.filled.store(true, Ordering::Release);
+                                    }
+                                }
+                                res.wait_ns += barrier.wait();
+                                // Consumer phase: drain this shard's
+                                // column, capacities staying in the
+                                // cells for the next producer swap.
+                                for src in 0..n {
+                                    if src != i
+                                        && grid.cell(src, i).filled.swap(false, Ordering::Acquire)
+                                    {
+                                        let mut batch = grid
+                                            .cell(src, i)
+                                            .batch
+                                            .lock()
+                                            .expect("no panics hold this lock");
+                                        world.ingest_drain(&mut batch);
+                                    }
+                                }
+                                res.windows += 1;
+                                if res.windows >= budget {
+                                    return res;
                                 }
                             }
-                            barrier.wait();
-                            let mine = std::mem::take(
-                                &mut *inboxes[i].lock().expect("no panics hold this lock"),
-                            );
-                            world.ingest(mine);
-                        }
+                        })
                     })
-                })
-                .collect();
-            results =
-                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
-        });
-        let total: u64 = results.iter().map(|(e, _)| e).sum();
-        let final_t = results[0].1;
-        let outcome = if final_t == u64::MAX {
-            QuiescenceOutcome::Quiescent
-        } else {
-            QuiescenceOutcome::DeadlineReached
+                    .collect();
+                results =
+                    handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
+            });
+            total_events += results.iter().map(|r| r.events).sum::<u64>();
+            self.runtime.windows += results[0].windows;
+            for (i, r) in results.iter().enumerate() {
+                debug_assert_eq!(r.windows, results[0].windows, "shards ran lockstep windows");
+                self.runtime.barrier_wait_ns[i] += r.wait_ns;
+                self.runtime.exchanged_events[i] += r.exchanged;
+            }
+            match results[0].exit {
+                EpochExit::Done(t) => {
+                    let outcome = if t == u64::MAX {
+                        QuiescenceOutcome::Quiescent
+                    } else {
+                        QuiescenceOutcome::DeadlineReached
+                    };
+                    return (total_events, outcome);
+                }
+                EpochExit::Budget => self.rebalance(),
+            }
+        }
+    }
+
+    /// The epoch-boundary rebalance step (main thread, workers
+    /// joined): decide on a plan, migrate the clusters whose shard
+    /// changed, and install the plan everywhere.
+    fn rebalance(&mut self) {
+        let hubs = self.topo.hub_count();
+        let new_plan = match self.policy.clone() {
+            RebalancePolicy::Off => return,
+            RebalancePolicy::ForceAt { window, plan } => {
+                if self.runtime.windows != window {
+                    return;
+                }
+                plan
+            }
+            RebalancePolicy::Adaptive { .. } => {
+                let cum: Vec<u64> = (0..hubs)
+                    .map(|h| self.worlds.iter().map(|w| w.cluster_weight(h)).sum())
+                    .collect();
+                let delta: Vec<u64> =
+                    cum.iter().zip(&self.prev_weights).map(|(c, p)| c.saturating_sub(*p)).collect();
+                self.prev_weights = cum;
+                let cand = ShardPlan::weighted(&self.topo, self.plan.shards(), &delta);
+                if cand == *self.plan {
+                    return;
+                }
+                let load = |plan: &ShardPlan| -> u128 {
+                    let mut per = vec![0u128; plan.shards()];
+                    for (h, &d) in delta.iter().enumerate() {
+                        per[plan.shard_of_hub(h)] += d as u128 + 1;
+                    }
+                    per.into_iter().max().unwrap_or(0)
+                };
+                // Hysteresis: migration and thread respawn aren't
+                // free; only adopt a ≥10% heaviest-shard improvement.
+                if load(&cand) * 10 > load(&self.plan) * 9 {
+                    return;
+                }
+                cand
+            }
         };
-        (total, outcome)
+        if new_plan == *self.plan {
+            return;
+        }
+        let old = Arc::clone(&self.plan);
+        let plan = Arc::new(new_plan);
+        for h in 0..hubs {
+            let (from, to) = (old.shard_of_hub(h), plan.shard_of_hub(h));
+            if from != to {
+                let (src, dst) = two_mut(&mut self.worlds, from, to);
+                World::migrate_cluster(src, dst, h);
+            }
+        }
+        for w in &mut self.worlds {
+            w.set_shard_plan(Arc::clone(&plan));
+        }
+        self.plan = plan;
+        self.runtime.rebalances += 1;
     }
 
     // ---------------------------------------------------------------
@@ -405,6 +733,39 @@ impl ShardedWorld {
         join_flights(&births, &ends, &mut flights);
         if !flights.is_empty() {
             reg.merge_histogram("latency.flight_ns", &flights);
+        }
+        reg
+    }
+
+    /// Counters about the parallel runner itself: total windows,
+    /// rebalances adopted, and per-shard barrier wait time and
+    /// exchanged cross-shard event counts.
+    ///
+    /// Deliberately **not** part of [`metrics`](ShardedWorld::metrics):
+    /// that registry is bit-compared against sequential runs (and
+    /// across shard counts) in tests and CI, while barrier wait is a
+    /// property of the host scheduler, not of the simulated system.
+    /// Window, rebalance, and exchange counts *are* deterministic for
+    /// a fixed shard count, but they describe the runner, so they live
+    /// here too.
+    pub fn runtime_metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("runner.windows", self.runtime.windows);
+        reg.counter_add("runner.rebalances", self.runtime.rebalances);
+        reg.counter_add("runner.barrier_wait_ns", self.runtime.barrier_wait_ns.iter().sum::<u64>());
+        reg.counter_add(
+            "runner.exchanged_events",
+            self.runtime.exchanged_events.iter().sum::<u64>(),
+        );
+        for i in 0..self.worlds.len() {
+            reg.counter_add(
+                &format!("runner.shard{i}.barrier_wait_ns"),
+                self.runtime.barrier_wait_ns[i],
+            );
+            reg.counter_add(
+                &format!("runner.shard{i}.exchanged_events"),
+                self.runtime.exchanged_events[i],
+            );
         }
         reg
     }
@@ -517,6 +878,18 @@ impl ShardedWorld {
             total.port_drops += s.port_drops;
         }
         Some(total)
+    }
+}
+
+/// Disjoint mutable borrows of two distinct slice elements.
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "cannot migrate a cluster to its own shard");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
     }
 }
 

@@ -925,20 +925,121 @@ impl World {
         n
     }
 
-    /// Takes everything queued for shard `dst` out of the outbox.
-    pub(crate) fn drain_outbox(&mut self, dst: usize) -> Vec<(Time, u64, Ev)> {
-        match &mut self.shard {
-            Some(ctx) => std::mem::take(&mut ctx.outbox[dst]),
-            None => Vec::new(),
+    /// Swaps the outbox batch for shard `dst` with `into` — the
+    /// allocation-free exchange primitive. `into` must be empty; after
+    /// the swap it holds this window's batch for `dst` and the outbox
+    /// holds `into`'s old buffer, so the two vectors' capacities
+    /// ping-pong between producer and exchange slot and the steady
+    /// state never allocates.
+    pub(crate) fn swap_outbox(&mut self, dst: usize, into: &mut Vec<(Time, u64, Ev)>) {
+        debug_assert!(into.is_empty(), "exchange slot not drained");
+        if let Some(ctx) = &mut self.shard {
+            std::mem::swap(&mut ctx.outbox[dst], into);
         }
     }
 
-    /// Schedules cross-shard arrivals produced by other shards. Keys
-    /// are globally unique, so arrival order here is irrelevant — the
-    /// heap pops them in the one total `(time, key)` order.
-    pub(crate) fn ingest(&mut self, arrivals: Vec<(Time, u64, Ev)>) {
-        for (at, key, ev) in arrivals {
+    /// `true` when the outbox for shard `dst` has anything queued.
+    pub(crate) fn outbox_filled(&self, dst: usize) -> bool {
+        self.shard.as_ref().is_some_and(|ctx| !ctx.outbox[dst].is_empty())
+    }
+
+    /// Drains a cross-shard arrival batch into the engine, leaving
+    /// the buffer's capacity in place for reuse by the batched barrier
+    /// exchange. Keys are globally unique, so arrival order here is
+    /// irrelevant — the heap pops them in the one total `(time, key)`
+    /// order.
+    pub(crate) fn ingest_drain(&mut self, arrivals: &mut Vec<(Time, u64, Ev)>) {
+        for (at, key, ev) in arrivals.drain(..) {
             self.engine.schedule_at_keyed(at, key, ev);
+        }
+    }
+
+    /// Replaces the shard plan (a rebalance adopted at a window
+    /// barrier). A no-op for unsharded worlds.
+    pub(crate) fn set_shard_plan(&mut self, plan: std::sync::Arc<ShardPlan>) {
+        if let Some(ctx) = &mut self.shard {
+            ctx.plan = plan;
+        }
+    }
+
+    /// Deterministic load attribution for HUB `hub`'s cluster: the
+    /// simulated busy time of the attached CABs' kernels plus one HUB
+    /// cycle per item the HUB handled. Simulated-time quantities only —
+    /// every shard (and every rerun) computes the same weights, so an
+    /// adaptive repartition is itself deterministic. Non-owned
+    /// components are pristine and contribute zero, so summing a
+    /// cluster's weight across shards yields its global weight.
+    pub(crate) fn cluster_weight(&self, hub: usize) -> u64 {
+        let hc = self.hubs[hub].counters();
+        let cycle = self.cfg.hub.cycle.nanos();
+        let mut w = (hc.packets_forwarded + hc.commands_executed + hc.replies_forwarded)
+            .saturating_mul(cycle);
+        for (c, cs) in self.cabs.iter().enumerate() {
+            if self.topo.cab_attachment(c).0 == hub {
+                w += cs.sched.thread_busy().nanos() + cs.sched.interrupt_busy().nanos();
+            }
+        }
+        w
+    }
+
+    /// Moves HUB `hub`'s cluster — the HUB, its attached CABs, their
+    /// pending events, tie-break key counters, protocol timer tables,
+    /// and chaos RNG streams — from `src` to `dst`.
+    ///
+    /// Only sound **at a window-barrier epoch**, where three facts
+    /// hold: no event batch is in flight (the timer table is exactly
+    /// 1:1 with pending `CabTimer` engine events), every outbox has
+    /// been exchanged (no cluster traffic is parked outside an
+    /// engine), and every pending event's timestamp is at or beyond
+    /// the last window's end — which is strictly after both worlds'
+    /// clocks, so re-insertion into `dst`'s engine can never schedule
+    /// into its past. Timestamps and keys are preserved verbatim, so
+    /// the merged `(time, key)` event order — and therefore every
+    /// observable — is bit-identical to a run that never migrated.
+    pub(crate) fn migrate_cluster(src: &mut World, dst: &mut World, hub: usize) {
+        let mine: Vec<bool> =
+            (0..src.topo.cab_count()).map(|c| src.topo.cab_attachment(c).0 == hub).collect();
+        let moved = src.engine.extract_if(|ev| match ev {
+            Ev::HubItem { hub: h, .. }
+            | Ev::HubReady { hub: h, .. }
+            | Ev::HubInternal { hub: h, .. } => *h == hub,
+            Ev::CabItem { cab, .. }
+            | Ev::CabItemReplay { cab, .. }
+            | Ev::CabReadySignal { cab }
+            | Ev::CabPacketReady { cab, .. }
+            | Ev::CabTimer { cab, .. }
+            | Ev::CabReadyTimeout { cab, .. }
+            | Ev::AppSend { cab, .. } => mine[*cab],
+        });
+        std::mem::swap(&mut src.hubs[hub], &mut dst.hubs[hub]);
+        let hub_key_src = src.cabs.len() + hub;
+        std::mem::swap(&mut src.keys[hub_key_src], &mut dst.keys[hub_key_src]);
+        let mut cab16: Vec<u16> = Vec::new();
+        for (c, owned) in mine.iter().enumerate() {
+            if *owned {
+                std::mem::swap(&mut src.cabs[c], &mut dst.cabs[c]);
+                std::mem::swap(&mut src.keys[c], &mut dst.keys[c]);
+                // The live timer table travelled with the CAB but its
+                // EventIds point into `src`'s engine; rebuild it from
+                // the re-inserted events below (exactly 1:1 at an
+                // epoch boundary).
+                let stale = dst.cabs[c].timers.len();
+                dst.cabs[c].timers.clear();
+                dst.cabs[c].timers.reserve(stale);
+                cab16.push(c as u16);
+            }
+        }
+        for (at, key, ev) in moved {
+            if let Ev::CabTimer { cab, source, token } = &ev {
+                let (cab, source, tok) = (*cab, *source, token.0);
+                let id = dst.engine.schedule_at_keyed(at, key, ev);
+                dst.cabs[cab].timers.insert((source, tok), id);
+            } else {
+                dst.engine.schedule_at_keyed(at, key, ev);
+            }
+        }
+        if let (Some(a), Some(b)) = (src.chaos.as_mut(), dst.chaos.as_mut()) {
+            b.absorb_component_state(a.extract_component_state(&cab16, &[hub as u8]));
         }
     }
 

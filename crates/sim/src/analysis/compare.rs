@@ -1,13 +1,20 @@
 //! The perf-regression gate: diff two `BENCH_sim.json`-shaped reports
 //! with noise-aware tolerances.
 //!
-//! The gate compares **deterministic simulated quantities only** —
+//! The gate always compares **deterministic simulated quantities** —
 //! per-experiment histogram quantiles (simulated nanoseconds) and event
-//! counts. Wall-clock fields (`wall_ms`, `events_per_sec`) vary with
-//! the machine running the bench and are reported informationally, never
-//! gated on. Because the simulation is deterministic, an identical
-//! re-run produces *identical* simulated metrics; the tolerances exist
-//! so intentional small model changes don't demand a baseline refresh.
+//! counts. Because the simulation is deterministic, an identical re-run
+//! produces *identical* simulated metrics; the tolerances exist so
+//! intentional small model changes don't demand a baseline refresh.
+//!
+//! Wall-clock throughput (`events_per_sec`) is machine-dependent, so it
+//! is gated **only when the two reports are comparable**: both carry a
+//! structured `host` member (written by `report` since the batched
+//! sharded runner landed), both hosts have at least 2 usable cores, and
+//! the core counts match. Single-core hosts are excluded because the
+//! parallel runner cannot be expected to hold throughput there, and
+//! mismatched hosts because the comparison would gate the hardware, not
+//! the code. `wall_ms` stays informational always.
 
 use crate::json::Json;
 use std::fmt::Write as _;
@@ -23,11 +30,22 @@ pub struct CompareConfig {
     /// Baselines below this absolute value are skipped — relative
     /// deltas on tiny numbers are noise (e.g. a 3-event experiment).
     pub noise_floor: f64,
+    /// Relative tolerance on `events_per_sec` when the hosts are
+    /// comparable (see the module docs). Wide by design: even matched
+    /// multi-core hosts jitter, and this gate exists to catch
+    /// *collapses* — a sharded run falling off a cliff — not
+    /// single-digit-percent noise.
+    pub throughput_tolerance: f64,
 }
 
 impl Default for CompareConfig {
     fn default() -> CompareConfig {
-        CompareConfig { latency_tolerance: 0.20, events_tolerance: 0.25, noise_floor: 64.0 }
+        CompareConfig {
+            latency_tolerance: 0.20,
+            events_tolerance: 0.25,
+            noise_floor: 64.0,
+            throughput_tolerance: 0.50,
+        }
     }
 }
 
@@ -137,6 +155,17 @@ impl CompareReport {
     }
 }
 
+/// Whether wall-clock throughput from these two reports may be
+/// compared: both declare a host, both hosts have at least 2 usable
+/// cores, and the counts match.
+fn hosts_comparable(baseline: &Json, current: &Json) -> bool {
+    let cores = |r: &Json| r.get("host").and_then(|h| h.get("cores")).and_then(Json::as_f64);
+    match (cores(baseline), cores(current)) {
+        (Some(b), Some(c)) => b >= 2.0 && c >= 2.0 && b == c,
+        _ => false,
+    }
+}
+
 fn experiments(report: &Json) -> Vec<(&str, &Json)> {
     report
         .get("experiments")
@@ -179,6 +208,7 @@ pub fn compare(
 ) -> Result<CompareReport, String> {
     let base_exps = experiments(baseline);
     let cur_exps = experiments(current);
+    let gate_throughput = hosts_comparable(baseline, current);
     let mut report = CompareReport::default();
     let mut compared_any = false;
     for (id, base_exp) in &base_exps {
@@ -187,6 +217,38 @@ pub fn compare(
             continue;
         };
         compared_any = true;
+        if gate_throughput {
+            let eps = |e: &Json| e.get("events_per_sec").and_then(Json::as_f64);
+            if let Some(base_v) = eps(base_exp) {
+                if base_v < cfg.noise_floor {
+                    report.skipped += 1;
+                } else {
+                    // Polarity is inverted vs the simulated metrics:
+                    // for throughput, *lower* is the regression.
+                    let (current_v, verdict) = match eps(cur_exp) {
+                        None => (0.0, Verdict::Missing),
+                        Some(v) => {
+                            let rel = (v - base_v) / base_v;
+                            let verdict = if rel < -cfg.throughput_tolerance {
+                                Verdict::Regressed
+                            } else if rel > cfg.throughput_tolerance {
+                                Verdict::Improved
+                            } else {
+                                Verdict::Ok
+                            };
+                            (v, verdict)
+                        }
+                    };
+                    report.deltas.push(Delta {
+                        experiment: id.to_string(),
+                        metric: "events_per_sec".to_string(),
+                        baseline: base_v,
+                        current: current_v,
+                        verdict,
+                    });
+                }
+            }
+        }
         let cur_metrics = gated_metrics(cur_exp);
         for (metric, base_v) in gated_metrics(base_exp) {
             if base_v < cfg.noise_floor {
@@ -295,6 +357,58 @@ mod tests {
         let base = report(20_000.0, 25_000.0, 5_000.0);
         let other = parse(r#"{"experiments": [{"id": "e14", "events": 5000}]}"#).unwrap();
         assert!(compare(&base, &other, &CompareConfig::default()).is_err());
+    }
+
+    fn hosted(cores: u32, eps: f64) -> Json {
+        parse(&format!(
+            r#"{{"host": {{"cores": {cores}, "online": {cores}, "pinned": false, "repeat": 1}},
+                "experiments": [{{"id": "e26", "events": 5000, "events_per_sec": {eps}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn throughput_collapse_on_matching_multicore_hosts_fails() {
+        let base = hosted(8, 1_000_000.0);
+        let slow = hosted(8, 300_000.0);
+        let rep = compare(&base, &slow, &CompareConfig::default()).unwrap();
+        assert!(!rep.passed());
+        assert!(rep
+            .deltas
+            .iter()
+            .any(|d| d.metric == "events_per_sec" && d.verdict == Verdict::Regressed));
+    }
+
+    #[test]
+    fn throughput_jitter_on_matching_hosts_passes() {
+        let base = hosted(8, 1_000_000.0);
+        let ok = hosted(8, 800_000.0);
+        let rep = compare(&base, &ok, &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+    }
+
+    #[test]
+    fn throughput_is_not_gated_across_mismatched_hosts() {
+        let base = hosted(8, 1_000_000.0);
+        let other = hosted(2, 100_000.0);
+        let rep = compare(&base, &other, &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+        assert!(!rep.deltas.iter().any(|d| d.metric == "events_per_sec"));
+    }
+
+    #[test]
+    fn throughput_is_not_gated_on_single_core_or_hostless_reports() {
+        let single = hosted(1, 1_000_000.0);
+        let slow_single = hosted(1, 10_000.0);
+        let rep = compare(&single, &slow_single, &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+        // Legacy baselines carry no host member at all.
+        let legacy =
+            parse(r#"{"experiments": [{"id": "e26", "events": 5000, "events_per_sec": 9.0}]}"#)
+                .unwrap();
+        let rep = compare(&legacy, &hosted(8, 1_000_000.0), &CompareConfig::default()).unwrap();
+        assert!(rep.passed());
+        assert!(!rep.deltas.iter().any(|d| d.metric == "events_per_sec"));
     }
 
     #[test]
