@@ -68,6 +68,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: report [--list] [--jobs N] [--shards N] [--repeat N] \
          [--scaling] [--json PATH] [--metrics] [--doctor] \
+         [--stream] [--telemetry-cap N] [--stream-budget BYTES] \
          [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
          [--chaos-seed N] [--chaos-spec PROG] [ids... | all]"
     );
@@ -84,6 +85,9 @@ fn main() {
     let mut list = false;
     let mut metrics = false;
     let mut doctor = false;
+    let mut stream = false;
+    let mut telemetry_cap: Option<usize> = None;
+    let mut stream_budget: Option<usize> = None;
     let mut compare_path: Option<String> = None;
     let mut trace_id: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -128,6 +132,18 @@ fn main() {
             "--json" => json_path = args.next().unwrap_or_else(|| usage()),
             "--metrics" => metrics = true,
             "--doctor" => doctor = true,
+            "--stream" => stream = true,
+            "--telemetry-cap" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                telemetry_cap = Some(v.parse().unwrap_or_else(|_| usage()));
+                if telemetry_cap == Some(0) {
+                    usage();
+                }
+            }
+            "--stream-budget" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                stream_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--compare" => compare_path = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_id = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
@@ -135,8 +151,9 @@ fn main() {
             other => ids.push(other.to_lowercase()),
         }
     }
-    // Both analysis modes need the data they analyze.
-    if doctor || compare_path.is_some() {
+    // All analysis modes need the data they analyze (the streaming
+    // doctor's mailbox detector reads the metrics registry).
+    if doctor || stream || compare_path.is_some() {
         metrics = true;
     }
     let reg = registry();
@@ -166,17 +183,17 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let chaos = (chaos_seed, chaos_spec);
-    let results = run_experiments(
-        &selected,
-        jobs,
-        shards,
-        repeat,
+    let base_ctx = ExpCtx {
         metrics,
-        doctor,
-        trace_id.as_deref(),
-        chaos,
-    );
+        trace: false,
+        chaos_seed,
+        chaos_spec,
+        shards,
+        stream,
+        telemetry_cap,
+        stream_budget,
+    };
+    let results = run_experiments(&selected, jobs, repeat, base_ctx, doctor, trace_id.as_deref());
     {
         // One write per run: the tables were rendered in the workers,
         // so the flush never interleaves with anything.
@@ -185,6 +202,9 @@ fn main() {
         for r in &results {
             writeln!(out, "{}", r.rendered).expect("stdout write");
         }
+    }
+    if stream {
+        print_stream(&results);
     }
     if doctor {
         print_doctor(&results);
@@ -218,6 +238,50 @@ fn main() {
     }
 }
 
+/// Renders an experiment's runtime registry (runner counters, ring
+/// pressure) — kept visually apart from the bit-compared metrics.
+fn print_runtime(runtime: Option<&nectar_sim::metrics::MetricsRegistry>) {
+    let Some(rt) = runtime else { return };
+    let counters: Vec<String> = rt.counters().map(|(k, v)| format!("{k}={v}")).collect();
+    let gauges: Vec<String> = rt.gauges().map(|(k, v)| format!("{k}={v:.0}")).collect();
+    if !counters.is_empty() || !gauges.is_empty() {
+        println!("  runtime (not bit-compared): {}", [gauges, counters].concat().join(" "));
+    }
+}
+
+/// Prints the streaming doctor's verdicts: one block per experiment
+/// that streamed, with the fold summary ahead of the findings.
+fn print_stream(results: &[Outcome]) {
+    println!("nectar-doctor --stream — incremental bounded-memory analysis");
+    println!("============================================================");
+    for r in results {
+        let Some(s) = &r.table.stream else { continue };
+        let sm = &s.summary;
+        println!(
+            "\n{} — {} events folded, {} flights ({} retired, {} open at capture end)",
+            r.id, sm.events_folded, sm.flights_seen, sm.flights_retired, sm.open_flights
+        );
+        println!(
+            "  fold: peak {} bytes, {} checkpoints, {} forced retirements, {} late events",
+            sm.peak_mem_bytes, sm.checkpoints, sm.forced_retirements, sm.late_events
+        );
+        println!(
+            "  rings: high-water mark {} of capacity, {} dropped{}",
+            sm.ring_hwm,
+            sm.ring_dropped,
+            if s.confident { "" } else { " — NOT CONFIDENT" }
+        );
+        print_runtime(r.table.runtime.as_ref());
+        print!("{}", s.rendered);
+    }
+    let skipped: Vec<&str> =
+        results.iter().filter(|r| r.table.stream.is_none()).map(|r| r.id).collect();
+    if !skipped.is_empty() {
+        println!("\n(no streaming capture for: {})", skipped.join(", "));
+    }
+    println!();
+}
+
 /// Prints the doctor report for every selected experiment that captures
 /// telemetry. Experiments outside [`TRACEABLE`] have no event stream to
 /// analyze and are listed as such rather than silently skipped.
@@ -228,9 +292,14 @@ fn print_doctor(results: &[Outcome]) {
         if !TRACEABLE.contains(&r.id) {
             continue;
         }
+        if r.table.stream.is_some() {
+            println!("\n{} — streamed (see the --stream section above)", r.id);
+            continue;
+        }
         println!("\n{} — {} telemetry events", r.id, r.table.trace.len());
         let report = nectar_sim::analysis::diagnose(&r.table.trace, r.table.metrics.as_ref());
         print!("{}", report.render());
+        print_runtime(r.table.runtime.as_ref());
     }
     let skipped: Vec<&str> =
         results.iter().map(|r| r.id).filter(|id| !TRACEABLE.contains(id)).collect();
@@ -278,23 +347,17 @@ fn run_compare(baseline_path: &str, current_json: &str) -> bool {
 /// median, and the simulated observables (events, metrics registry)
 /// are asserted identical across repeats — the determinism contract
 /// applied to the harness itself.
-#[allow(clippy::too_many_arguments)]
 fn run_experiments(
     selected: &[Experiment],
     jobs: usize,
-    shards: usize,
     repeat: usize,
-    metrics: bool,
+    base_ctx: ExpCtx,
     doctor: bool,
     trace_id: Option<&str>,
-    chaos: (Option<u64>, Option<&'static str>),
 ) -> Vec<Outcome> {
     let ctx_for = |id: &str| ExpCtx {
-        metrics,
         trace: trace_id == Some(id) || (doctor && TRACEABLE.contains(&id)),
-        chaos_seed: chaos.0,
-        chaos_spec: chaos.1,
-        shards,
+        ..base_ctx
     };
     let execute = |id: &'static str, run: fn(&ExpCtx) -> Table| {
         let mut walls = Vec::with_capacity(repeat);
@@ -463,6 +526,37 @@ fn render_json(
             Some(m) => format!(", \"metrics\": {}", m.to_json()),
             None => String::new(),
         };
+        // Runner counters and ring pressure: a sibling of "metrics",
+        // never inside it, because "metrics" is the bit-compared
+        // determinism fingerprint and these describe the harness.
+        let runtime = match &r.table.runtime {
+            Some(rt) if !rt.is_empty() => format!(", \"runtime\": {}", rt.to_json()),
+            _ => String::new(),
+        };
+        let stream = match &r.table.stream {
+            Some(s) => {
+                let sm = &s.summary;
+                format!(
+                    ", \"stream\": {{\"events_folded\": {}, \"flights_seen\": {}, \
+                     \"flights_retired\": {}, \"open_flights\": {}, \"late_events\": {}, \
+                     \"forced_retirements\": {}, \"checkpoints\": {}, \"peak_mem_bytes\": {}, \
+                     \"ring_hwm\": {}, \"ring_dropped\": {}, \"flights\": {}, \"confident\": {}}}",
+                    sm.events_folded,
+                    sm.flights_seen,
+                    sm.flights_retired,
+                    sm.open_flights,
+                    sm.late_events,
+                    sm.forced_retirements,
+                    sm.checkpoints,
+                    sm.peak_mem_bytes,
+                    sm.ring_hwm,
+                    sm.ring_dropped,
+                    s.flights,
+                    s.confident,
+                )
+            }
+            None => String::new(),
+        };
         let notes = if r.table.notes.is_empty() {
             String::new()
         } else {
@@ -471,7 +565,7 @@ fn render_json(
             format!(", \"notes\": [{}]", quoted.join(", "))
         };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}{}}}{}\n",
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}{}{}{}}}{}\n",
             json_escape(r.id),
             json_escape(&r.table.title),
             wall_s * 1e3,
@@ -479,6 +573,8 @@ fn render_json(
             eps,
             notes,
             metrics,
+            runtime,
+            stream,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

@@ -127,7 +127,7 @@ pub fn e25_stream_chaos(ctx: &ExpCtx) -> Table {
         if verdict != "pass" {
             t.note(format!("replay: report e25 {}", replay_line(&sched)));
         }
-        ctx.absorb(&mut t, &world);
+        ctx.absorb(&mut t, &mut world);
     }
     t.note("exactly-once in-order delivery, pool conservation, counter coherence at quiescence");
     t
@@ -156,7 +156,7 @@ pub fn e25b_rpc_chaos(ctx: &ExpCtx) -> Table {
         if verdict != "pass" {
             t.note(format!("replay: report e25b {}", replay_line(&sched)));
         }
-        ctx.absorb(&mut t, &world);
+        ctx.absorb(&mut t, &mut world);
     }
     t.note("a server never executes a transaction twice, however lossy or duplicative the wire");
     t
@@ -185,7 +185,7 @@ pub fn e25c_mesh_chaos(ctx: &ExpCtx) -> Table {
         if verdict != "pass" {
             t.note(format!("replay: report e25c {}", replay_line(&sched)));
         }
-        ctx.absorb(&mut t, &world);
+        ctx.absorb(&mut t, &mut world);
     }
     t.note("broad clauses disturb only CAB links (ready-timeout recovers); hubN.P targets trunks");
     t

@@ -150,7 +150,7 @@ pub fn e05_fig7_circuit(ctx: &ExpCtx) -> Table {
     t.note("data follows the opens in FIFO order, so no reply wait is on the critical path");
     t.note("hub ids are zero-based here: the paper's HUB2 is HUB1, HUB1 is HUB0");
     t.record_events(sys.world().events_processed());
-    ctx.absorb(&mut t, sys.world());
+    ctx.absorb(&mut t, sys.world_mut());
     t
 }
 
@@ -167,7 +167,7 @@ pub fn e06_multicast(ctx: &ExpCtx) -> Table {
         let dsts: Vec<usize> = (1..=fanout).collect();
         let (mc, uc) = sys.measure_multicast_vs_unicast(0, &dsts, 512);
         t.record_events(sys.world().events_processed());
-        ctx.absorb(&mut t, sys.world());
+        ctx.absorb(&mut t, sys.world_mut());
         t.row(&[
             format!("{fanout}"),
             us(mc),
@@ -199,7 +199,7 @@ pub fn e07_circuit_vs_packet(ctx: &ExpCtx) -> Table {
         let lat_cs = cs.measure_cab_to_cab(0, 1, size).latency;
         t.record_events(ps.world().events_processed());
         t.record_events(cs.world().events_processed());
-        ctx.absorb(&mut t, ps.world());
+        ctx.absorb(&mut t, ps.world_mut());
         let frags = nectar_proto::transport::frag::fragment_count(size, 990);
         t.row(&[format!("{size} B"), us(lat_ps), us(lat_cs), format!("{frags}")]);
     }

@@ -44,7 +44,7 @@ pub fn e03_latency_goals(ctx: &ExpCtx) -> Table {
         yesno(hub_setup < Dur::from_micros(1)),
     ]);
     t.record_events(sys.world().events_processed());
-    ctx.absorb(&mut t, sys.world());
+    ctx.absorb(&mut t, sys.world_mut());
     t
 }
 
@@ -107,7 +107,7 @@ pub fn e12_node_interfaces(ctx: &ExpCtx) -> Table {
             ctx.prepare(sys.world_mut());
             let r = sys.measure_node_to_node(0, 1, size, iface);
             t.record_events(sys.world().events_processed());
-            ctx.absorb(&mut t, sys.world());
+            ctx.absorb(&mut t, sys.world_mut());
             cells.push(us(r.latency));
         }
         t.row(&cells);
@@ -140,7 +140,7 @@ pub fn e14_mesh_scaling(ctx: &ExpCtx) -> Table {
         prev = Some(r.latency);
     }
     t.record_events(sys.world().events_processed());
-    ctx.absorb(&mut t, sys.world());
+    ctx.absorb(&mut t, sys.world_mut());
     t.note("paper: \"latency of process to process communication in a multi-HUB system is not");
     t.note("significantly higher\" — each extra HUB adds ~store-and-forward of one small packet");
     t

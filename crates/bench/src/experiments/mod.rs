@@ -14,6 +14,7 @@ pub mod transport_exp;
 use crate::table::Table;
 use nectar_core::shard::ShardedWorld;
 use nectar_core::world::World;
+use nectar_sim::metrics::MetricsRegistry;
 
 /// What the harness wants an experiment to collect beyond its table.
 /// Passed to every runner; [`ExpCtx::off`] is the plain-report default.
@@ -37,6 +38,21 @@ pub struct ExpCtx {
     /// sequential execution; counts above a topology's HUB count are
     /// clamped by the [`ShardPlan`](nectar_core::shard::ShardPlan).
     pub shards: usize,
+    /// Attach a streaming doctor to every world (`report --stream`):
+    /// telemetry folds incrementally instead of being kept for a
+    /// post-hoc pass, so rings never fill and analysis memory stays
+    /// bounded no matter the run length.
+    pub stream: bool,
+    /// Resize every telemetry ring before traffic flows
+    /// (`report --telemetry-cap N`). Mainly for demonstrating that
+    /// streaming survives capacities the post-hoc path cannot.
+    pub telemetry_cap: Option<usize>,
+    /// Hard cap on the streaming fold's estimated footprint in bytes
+    /// (`report --stream-budget BYTES`); see
+    /// [`StreamConfig::memory_budget`].
+    ///
+    /// [`StreamConfig::memory_budget`]: nectar_sim::analysis::streaming::StreamConfig::memory_budget
+    pub stream_budget: Option<usize>,
 }
 
 impl ExpCtx {
@@ -47,12 +63,38 @@ impl ExpCtx {
 
     /// `true` when the experiment should switch the flight recorder on.
     pub fn observing(&self) -> bool {
-        self.metrics || self.trace
+        self.metrics || self.trace || self.stream
+    }
+
+    /// The [`StreamConfig`](nectar_sim::analysis::streaming::StreamConfig)
+    /// a `--stream` run attaches: defaults plus the CLI memory budget.
+    fn stream_config(&self) -> nectar_sim::analysis::streaming::StreamConfig {
+        nectar_sim::analysis::streaming::StreamConfig {
+            memory_budget: self.stream_budget,
+            ..Default::default()
+        }
     }
 
     /// Arms a freshly built world, before any traffic flows.
     pub fn prepare(&self, world: &mut World) {
-        if self.observing() {
+        if let Some(cap) = self.telemetry_cap {
+            world.set_telemetry_capacity(cap);
+        }
+        if self.stream {
+            world.attach_streaming(self.stream_config());
+        } else if self.observing() {
+            world.enable_observability();
+        }
+    }
+
+    /// [`prepare`](ExpCtx::prepare) for a sharded world.
+    pub fn prepare_sharded(&self, world: &mut ShardedWorld) {
+        if let Some(cap) = self.telemetry_cap {
+            world.set_telemetry_capacity(cap);
+        }
+        if self.stream {
+            world.attach_streaming(self.stream_config());
+        } else if self.observing() {
             world.enable_observability();
         }
     }
@@ -63,14 +105,26 @@ impl ExpCtx {
     }
 
     /// Harvests a world into the table: metrics merge (so experiments
-    /// driving several worlds accumulate), trace events append.
-    pub fn absorb(&self, table: &mut Table, world: &World) {
-        if self.metrics {
-            let m = world.metrics();
-            match &mut table.metrics {
-                Some(t) => t.merge(&m),
-                None => table.metrics = Some(m),
+    /// driving several worlds accumulate), trace events append, the
+    /// streaming doctor (when attached) is detached into its final
+    /// report, and capture pressure lands in the runtime registry.
+    pub fn absorb(&self, table: &mut Table, world: &mut World) {
+        let reg = (self.metrics || self.stream).then(|| world.metrics());
+        if self.stream {
+            if let Some(doctor) = world.finish_streaming() {
+                let summary = doctor.summary();
+                let report = doctor.into_report(reg.as_ref());
+                table.absorb_stream(&summary, &report);
             }
+        }
+        if self.metrics {
+            if let Some(m) = reg {
+                match &mut table.metrics {
+                    Some(t) => t.merge(&m),
+                    None => table.metrics = Some(m),
+                }
+            }
+            self.absorb_pressure(table, world.telemetry_pressure());
         }
         if self.trace {
             table.trace.extend(world.telemetry_events());
@@ -80,18 +134,42 @@ impl ExpCtx {
     /// [`absorb`](ExpCtx::absorb) for a sharded world: identical
     /// semantics, because the sharded metrics registry and the
     /// canonically sorted telemetry stream are bit-identical to a
-    /// sequential run's (the determinism contract of DESIGN.md §11).
-    pub fn absorb_sharded(&self, table: &mut Table, world: &ShardedWorld) {
-        if self.metrics {
-            let m = world.metrics();
-            match &mut table.metrics {
-                Some(t) => t.merge(&m),
-                None => table.metrics = Some(m),
+    /// sequential run's (the determinism contract of DESIGN.md §11) —
+    /// plus the runner's own counters into the runtime registry.
+    pub fn absorb_sharded(&self, table: &mut Table, world: &mut ShardedWorld) {
+        let reg = (self.metrics || self.stream).then(|| world.metrics());
+        if self.stream {
+            if let Some(doctor) = world.finish_streaming() {
+                let summary = doctor.summary();
+                let report = doctor.into_report(reg.as_ref());
+                table.absorb_stream(&summary, &report);
             }
+        }
+        if self.metrics {
+            if let Some(m) = reg {
+                match &mut table.metrics {
+                    Some(t) => t.merge(&m),
+                    None => table.metrics = Some(m),
+                }
+            }
+            let rt = table.runtime.get_or_insert_with(MetricsRegistry::new);
+            rt.merge(&world.runtime_metrics());
+            self.absorb_pressure(table, world.telemetry_pressure());
         }
         if self.trace {
             table.trace.extend(world.telemetry_events());
         }
+    }
+
+    /// Records the telemetry capture-pressure pair into the table's
+    /// runtime registry. The high-water mark is per-ring and therefore
+    /// shard-variant, which is exactly why it lives here and not in
+    /// the bit-compared `metrics` object.
+    fn absorb_pressure(&self, table: &mut Table, pressure: (u64, u64)) {
+        let (hwm, dropped) = pressure;
+        let rt = table.runtime.get_or_insert_with(MetricsRegistry::new);
+        rt.gauge_max("telemetry.ring_hwm", hwm as f64);
+        rt.counter_add("telemetry.dropped_events", dropped);
     }
 }
 

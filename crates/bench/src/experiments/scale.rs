@@ -96,9 +96,11 @@ fn timed_run(
 ) -> (u64, f64, String, nectar_sim::metrics::MetricsRegistry) {
     let t0 = Instant::now();
     let mut world = ShardedWorld::new(topo.clone(), SystemConfig::default(), shards);
-    if ctx.observing() {
-        world.enable_observability();
-    }
+    // Both the measured run and the 1-shard reference get the same
+    // capture setup (including streaming): draining rings changes the
+    // `telemetry.dropped_events` counter under tight capacities, and
+    // the determinism diff must compare like with like.
+    ctx.prepare_sharded(&mut world);
     if let Some(s) = chaos {
         world.set_chaos(s.clone());
     }
@@ -114,7 +116,11 @@ fn timed_run(
         table.id
     );
     if absorb {
-        ctx.absorb_sharded(table, &world);
+        ctx.absorb_sharded(table, &mut world);
+    } else if ctx.stream {
+        // The reference run streams too (same capture setup), but its
+        // doctor's verdict is redundant — just detach it.
+        world.finish_streaming();
     }
     (events, wall, fingerprint, world.runtime_metrics())
 }

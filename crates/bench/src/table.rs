@@ -29,6 +29,51 @@ pub struct Table {
     /// Metrics harvested from the experiment's worlds. Populated only
     /// when the harness requested metrics.
     pub metrics: Option<nectar_sim::metrics::MetricsRegistry>,
+    /// Runner/runtime counters (sharded windows, barrier waits,
+    /// telemetry ring pressure). Kept apart from `metrics`, which is
+    /// bit-compared across shard counts and repeats; these describe
+    /// the harness, not the simulated system.
+    pub runtime: Option<nectar_sim::metrics::MetricsRegistry>,
+    /// Streaming-doctor outcome, when the harness ran with `--stream`.
+    pub stream: Option<StreamResult>,
+}
+
+/// What the streaming doctor concluded about one experiment's worlds
+/// (merged when an experiment drives several).
+#[derive(Clone, Debug)]
+pub struct StreamResult {
+    /// Fold statistics, summed across worlds (peaks take the max).
+    pub summary: nectar_sim::analysis::streaming::StreamSummary,
+    /// Flights analyzed, from the final reports.
+    pub flights: u64,
+    /// `false` if any world's capture was truncated.
+    pub confident: bool,
+    /// The rendered doctor reports, one block per streamed world.
+    pub rendered: String,
+}
+
+impl StreamResult {
+    /// Folds another world's streaming outcome into this one.
+    pub fn merge(
+        &mut self,
+        summary: &nectar_sim::analysis::streaming::StreamSummary,
+        report: &nectar_sim::analysis::DoctorReport,
+    ) {
+        let s = &mut self.summary;
+        s.events_folded += summary.events_folded;
+        s.flights_seen += summary.flights_seen;
+        s.flights_retired += summary.flights_retired;
+        s.open_flights += summary.open_flights;
+        s.late_events += summary.late_events;
+        s.forced_retirements += summary.forced_retirements;
+        s.checkpoints += summary.checkpoints;
+        s.peak_mem_bytes = s.peak_mem_bytes.max(summary.peak_mem_bytes);
+        s.ring_hwm = s.ring_hwm.max(summary.ring_hwm);
+        s.ring_dropped += summary.ring_dropped;
+        self.flights += report.flights;
+        self.confident &= report.confident;
+        self.rendered.push_str(&report.render());
+    }
 }
 
 impl Table {
@@ -43,7 +88,24 @@ impl Table {
             events: 0,
             trace: Vec::new(),
             metrics: None,
+            runtime: None,
+            stream: None,
         }
+    }
+
+    /// Folds one world's streaming-doctor outcome into the table.
+    pub fn absorb_stream(
+        &mut self,
+        summary: &nectar_sim::analysis::streaming::StreamSummary,
+        report: &nectar_sim::analysis::DoctorReport,
+    ) {
+        let slot = self.stream.get_or_insert_with(|| StreamResult {
+            summary: Default::default(),
+            flights: 0,
+            confident: true,
+            rendered: String::new(),
+        });
+        slot.merge(summary, report);
     }
 
     /// Accumulates simulation events into the table's counter. Call

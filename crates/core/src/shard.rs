@@ -51,6 +51,7 @@
 
 use crate::topology::Topology;
 use crate::world::{join_flights, AppSend, Delivery, Ev, QuiescenceOutcome, SystemConfig, World};
+use nectar_sim::analysis::streaming::{StreamConfig, StreamingDoctor};
 use nectar_sim::chaos::{ChaosSchedule, ChaosStats};
 use nectar_sim::metrics::{Histogram, MetricsRegistry};
 use nectar_sim::telemetry::TelemetryEvent;
@@ -363,7 +364,37 @@ pub struct ShardedWorld {
     /// each epoch rebalances on the weight *deltas* (recent load, not
     /// run-lifetime totals).
     prev_weights: Vec<u64>,
+    /// Window count at which [`RebalancePolicy::Adaptive`] next
+    /// evaluates. Streaming shortens epochs below `every_windows`, so
+    /// the adaptive cadence is tracked here instead of being implied
+    /// by the epoch budget.
+    next_adaptive: u64,
+    /// Streaming fold state for multi-shard runs (the 1-shard path
+    /// delegates to `worlds[0]`'s own drain-per-step streaming).
+    stream: Option<Box<ShardStream>>,
     runtime: RuntimeStats,
+}
+
+/// The [`StreamingDoctor`] and its scratch buffers when streaming is
+/// attached to a multi-shard world: every shard's rings drain into one
+/// fold on the main thread at epoch boundaries, where the global
+/// minimum next-event time bounds which events are final.
+struct ShardStream {
+    doctor: StreamingDoctor,
+    /// Drained events not yet final (stamped at or after the global
+    /// minimum next event time).
+    pending: Vec<TelemetryEvent>,
+    /// Scratch batch handed to the doctor each fold.
+    batch: Vec<TelemetryEvent>,
+    /// Epoch budget cap in windows: folds must happen often enough
+    /// that no per-shard ring fills between them.
+    cadence: u64,
+}
+
+/// Epoch cap (in windows) for a given smallest ring capacity: drain
+/// well before even a dense window sequence could fill a ring.
+fn stream_cadence(min_capacity: usize) -> u64 {
+    (min_capacity as u64 / 64).clamp(4, 256)
 }
 
 impl ShardedWorld {
@@ -385,6 +416,8 @@ impl ShardedWorld {
             lookahead,
             policy: RebalancePolicy::Off,
             prev_weights,
+            next_adaptive: 0,
+            stream: None,
             runtime: RuntimeStats {
                 barrier_wait_ns: vec![0; n],
                 exchanged_events: vec![0; n],
@@ -449,6 +482,112 @@ impl ShardedWorld {
         self.worlds[s].schedule_send(at, cab, send);
     }
 
+    /// Attaches a [`StreamingDoctor`]; mirrors
+    /// [`World::attach_streaming`]. With one shard the world streams
+    /// for itself (drain cadence in engine events); with several, the
+    /// main thread drains every shard's rings at epoch boundaries and
+    /// folds the events below the global minimum next-event time —
+    /// those are final in *every* shard, because cross-shard traffic
+    /// can only land a full lookahead later. Events reach the fold in
+    /// canonical order regardless of shard count, so the verdict is
+    /// bit-identical to a sequential streaming run.
+    pub fn attach_streaming(&mut self, cfg: StreamConfig) {
+        if self.worlds.len() == 1 {
+            self.worlds[0].attach_streaming(cfg);
+            return;
+        }
+        self.enable_observability();
+        let min_cap =
+            self.worlds.iter().map(|w| w.min_telemetry_capacity()).min().unwrap_or(usize::MAX);
+        self.stream = Some(Box::new(ShardStream {
+            doctor: StreamingDoctor::new(cfg),
+            pending: Vec::new(),
+            batch: Vec::new(),
+            cadence: stream_cadence(min_cap),
+        }));
+    }
+
+    /// Resizes every shard's telemetry rings (see
+    /// [`World::set_telemetry_capacity`]) and retunes the streaming
+    /// fold cadence to the new bound.
+    pub fn set_telemetry_capacity(&mut self, capacity: usize) {
+        for w in &mut self.worlds {
+            w.set_telemetry_capacity(capacity);
+        }
+        if let Some(st) = &mut self.stream {
+            st.cadence = stream_cadence(capacity);
+        }
+    }
+
+    /// The attached streaming doctor, for live checkpoint polls.
+    pub fn stream_doctor(&self) -> Option<&StreamingDoctor> {
+        if self.worlds.len() == 1 {
+            return self.worlds[0].stream_doctor();
+        }
+        self.stream.as_ref().map(|st| &st.doctor)
+    }
+
+    /// Detaches the streaming doctor after folding everything still
+    /// pending in any shard's rings; mirrors
+    /// [`World::finish_streaming`].
+    pub fn finish_streaming(&mut self) -> Option<StreamingDoctor> {
+        if self.worlds.len() == 1 {
+            return self.worlds[0].finish_streaming();
+        }
+        self.stream.as_ref()?;
+        self.stream_fold(true);
+        let mut st = self.stream.take()?;
+        let (hwm, dropped) = self.telemetry_pressure();
+        st.doctor.note_ring(hwm, dropped);
+        Some(st.doctor)
+    }
+
+    /// Capture pressure across all shards: highest single-ring
+    /// occupancy ever reached, and total events lost to overflow.
+    pub fn telemetry_pressure(&self) -> (u64, u64) {
+        let mut hwm = 0u64;
+        let mut dropped = 0u64;
+        for w in &self.worlds {
+            let (h, d) = w.telemetry_pressure();
+            hwm = hwm.max(h);
+            dropped += d;
+        }
+        (hwm, dropped)
+    }
+
+    /// Drains every shard's rings and folds all **final** events:
+    /// those stamped strictly before the global minimum next-event
+    /// time. No shard can still record an earlier event — record
+    /// sites stamp at-or-after their processing instant, and
+    /// cross-shard arrivals land at least a lookahead past the
+    /// window floor. With `finish` everything pending folds.
+    fn stream_fold(&mut self, finish: bool) {
+        let Some(mut st) = self.stream.take() else { return };
+        for w in &mut self.worlds {
+            w.drain_telemetry_into(&mut st.pending);
+        }
+        let boundary = if finish {
+            None
+        } else {
+            self.worlds.iter().filter_map(|w| w.next_event_time()).min()
+        };
+        match boundary {
+            None => st.batch.append(&mut st.pending),
+            Some(b) => {
+                let mut i = 0;
+                while i < st.pending.len() {
+                    if st.pending[i].at < b {
+                        st.batch.push(st.pending.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        st.doctor.ingest(&mut st.batch);
+        self.stream = Some(st);
+    }
+
     /// Runs the window protocol until every shard's queue drains or
     /// the global clock would pass `deadline`; mirrors
     /// [`World::run_to_quiescence`] including final clock position.
@@ -483,9 +622,11 @@ impl ShardedWorld {
     }
 
     /// Window budget for the next epoch: how many windows the workers
-    /// may run before handing the main thread a rebalance opportunity.
+    /// may run before handing the main thread a rebalance opportunity
+    /// — or, with streaming attached, a drain-and-fold opportunity
+    /// (whichever cadence is shorter).
     fn epoch_budget(&self) -> u64 {
-        match &self.policy {
+        let policy = match &self.policy {
             RebalancePolicy::Off => u64::MAX,
             RebalancePolicy::Adaptive { every_windows } => (*every_windows).max(1),
             RebalancePolicy::ForceAt { window, .. } => {
@@ -495,6 +636,10 @@ impl ShardedWorld {
                     u64::MAX
                 }
             }
+        };
+        match &self.stream {
+            Some(st) => policy.min(st.cadence),
+            None => policy,
         }
     }
 
@@ -612,6 +757,10 @@ impl ShardedWorld {
             }
             match results[0].exit {
                 EpochExit::Done(t) => {
+                    // Fold what's final so rings stay empty between
+                    // drive() calls; at quiescence every shard peek is
+                    // None and everything folds.
+                    self.stream_fold(false);
                     let outcome = if t == u64::MAX {
                         QuiescenceOutcome::Quiescent
                     } else {
@@ -619,7 +768,11 @@ impl ShardedWorld {
                     };
                     return (total_events, outcome);
                 }
-                EpochExit::Budget => self.rebalance(),
+                EpochExit::Budget => {
+                    // Drain before any migration so rings travel empty.
+                    self.stream_fold(false);
+                    self.rebalance();
+                }
             }
         }
     }
@@ -637,7 +790,13 @@ impl ShardedWorld {
                 }
                 plan
             }
-            RebalancePolicy::Adaptive { .. } => {
+            RebalancePolicy::Adaptive { every_windows } => {
+                // Streaming may shorten epochs below `every_windows`;
+                // only evaluate on the policy's own cadence.
+                if self.runtime.windows < self.next_adaptive {
+                    return;
+                }
+                self.next_adaptive = self.runtime.windows + every_windows.max(1);
                 let cum: Vec<u64> = (0..hubs)
                     .map(|h| self.worlds.iter().map(|w| w.cluster_weight(h)).sum())
                     .collect();
@@ -894,14 +1053,15 @@ fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
 }
 
 /// Sorts telemetry into the canonical cross-run comparison order:
-/// `(time, flight, rendered kind)`. Per-shard rings interleave
+/// `(time, flight, packed kind)` — see
+/// [`TelemetryEvent::canonical_key`]. Per-shard rings interleave
 /// same-instant events from different components differently than one
 /// sequential ring does; this order is a total one over the event
 /// *content*, so two runs recorded the same events iff the sorted
-/// vectors are equal. (`EventKind` intentionally has no `Ord` — the
-/// debug rendering is the comparison key of last resort.)
+/// vectors are equal. The streaming doctor sorts every ingest batch
+/// with the same key, which is why its folds are shard-invariant.
 pub fn canonical_telemetry_sort(events: &mut [TelemetryEvent]) {
-    events.sort_by_cached_key(|e| (e.at, e.flight, format!("{:?}", e.kind)));
+    events.sort_unstable_by_key(|e| e.canonical_key());
 }
 
 /// Sorts deliveries into the canonical comparison order.

@@ -27,6 +27,7 @@ use nectar_proto::transport::bytestream::{ByteStream, ByteStreamConfig};
 use nectar_proto::transport::datagram::Datagram;
 use nectar_proto::transport::reqresp::{ReqRespClient, ReqRespConfig, ReqRespServer};
 use nectar_proto::transport::{Action, TimerToken, TransportError};
+use nectar_sim::analysis::streaming::{StreamConfig, StreamingDoctor};
 use nectar_sim::chaos::{ChaosInjector, ChaosSchedule, ChaosStats, Clause, Fault};
 use nectar_sim::engine::{Engine, EventId};
 use nectar_sim::metrics::{Histogram, MetricsRegistry};
@@ -367,6 +368,24 @@ pub struct World {
     keys: Vec<u64>,
     /// Sharded-execution context (`None` when this world runs alone).
     shard: Option<ShardCtx>,
+    /// Attached streaming doctor (drain-per-step incremental analysis;
+    /// see [`attach_streaming`](World::attach_streaming)).
+    stream: Option<Box<StreamState>>,
+    /// Engine events processed since the last streaming drain.
+    stream_since: u64,
+    /// Streaming drain cadence in engine events, sized so the rings
+    /// cannot reach capacity between drains.
+    stream_drain_every: u64,
+}
+
+/// Scratch and fold state for an attached [`StreamingDoctor`].
+struct StreamState {
+    doctor: StreamingDoctor,
+    /// Drained events not yet final (stamped at or after the engine's
+    /// next event time — record sites may stamp into the future).
+    pending: Vec<TelemetryEvent>,
+    /// Scratch batch handed to the doctor each fold.
+    batch: Vec<TelemetryEvent>,
 }
 
 impl World {
@@ -446,6 +465,9 @@ impl World {
             flight_ends: HashMap::new(),
             keys,
             shard,
+            stream: None,
+            stream_since: 0,
+            stream_drain_every: u64::MAX,
         }
     }
 
@@ -499,6 +521,141 @@ impl World {
         }
         all.sort_by_key(|e| e.at);
         all
+    }
+
+    /// Moves every retained telemetry event (all component rings) onto
+    /// `out`, leaving the rings empty. Order across rings is arbitrary;
+    /// the streaming doctor canonically sorts each batch.
+    pub(crate) fn drain_telemetry_into(&mut self, out: &mut Vec<TelemetryEvent>) {
+        self.telemetry.drain_into(out);
+        for hub in &mut self.hubs {
+            hub.telemetry_mut().drain_into(out);
+        }
+        for cs in &mut self.cabs {
+            cs.sched.telemetry_mut().drain_into(out);
+        }
+    }
+
+    /// Smallest ring capacity across every component recorder — the
+    /// bound the streaming drain cadence is derived from.
+    pub(crate) fn min_telemetry_capacity(&self) -> usize {
+        let mut cap = self.telemetry.capacity();
+        for hub in &self.hubs {
+            cap = cap.min(hub.telemetry().capacity());
+        }
+        for cs in &self.cabs {
+            cap = cap.min(cs.sched.telemetry().capacity());
+        }
+        cap
+    }
+
+    /// Highest occupancy any component ring ever reached, and total
+    /// events lost to ring overflow — the capture-pressure pair. The
+    /// high-water mark depends on ring layout (per shard, per
+    /// component) and on the streaming drain cadence, so it belongs in
+    /// runtime reporting, not in the bit-compared metrics registry.
+    pub fn telemetry_pressure(&self) -> (u64, u64) {
+        let mut hwm = self.telemetry.high_water_mark() as u64;
+        let mut dropped = self.telemetry.dropped();
+        for hub in &self.hubs {
+            hwm = hwm.max(hub.telemetry().high_water_mark() as u64);
+            dropped += hub.telemetry().dropped();
+        }
+        for cs in &self.cabs {
+            hwm = hwm.max(cs.sched.telemetry().high_water_mark() as u64);
+            dropped += cs.sched.telemetry().dropped();
+        }
+        (hwm, dropped)
+    }
+
+    /// Resizes every component telemetry ring (world, HUBs, kernel
+    /// schedulers). Smaller rings stress capture pressure; streaming
+    /// keeps analysis exact anyway because it drains before they fill.
+    pub fn set_telemetry_capacity(&mut self, capacity: usize) {
+        self.telemetry.set_capacity(capacity);
+        for hub in &mut self.hubs {
+            hub.telemetry_mut().set_capacity(capacity);
+        }
+        for cs in &mut self.cabs {
+            cs.sched.telemetry_mut().set_capacity(capacity);
+        }
+        if self.stream.is_some() {
+            self.stream_drain_every = (self.min_telemetry_capacity() as u64 / 32).max(1);
+        }
+    }
+
+    /// Attaches a [`StreamingDoctor`]: from now on the run loops drain
+    /// the telemetry rings into the incremental fold often enough that
+    /// they can never fill, so analysis stays exact (and confident) at
+    /// ring capacities far below the event count. Implies
+    /// [`enable_observability`](World::enable_observability).
+    pub fn attach_streaming(&mut self, cfg: StreamConfig) {
+        self.enable_observability();
+        self.stream_since = 0;
+        self.stream_drain_every = (self.min_telemetry_capacity() as u64 / 32).max(1);
+        self.stream = Some(Box::new(StreamState {
+            doctor: StreamingDoctor::new(cfg),
+            pending: Vec::new(),
+            batch: Vec::new(),
+        }));
+    }
+
+    /// The attached streaming doctor, for live checkpoint polls.
+    pub fn stream_doctor(&self) -> Option<&StreamingDoctor> {
+        self.stream.as_ref().map(|st| &st.doctor)
+    }
+
+    /// Drains the rings and folds every **final** event — those
+    /// stamped strictly before the engine's next event time; nothing
+    /// that early can still be recorded, because every record site
+    /// stamps at-or-after its processing instant. With `finish` the
+    /// boundary is lifted and everything pending folds.
+    fn stream_fold(&mut self, finish: bool) {
+        let Some(mut st) = self.stream.take() else { return };
+        self.drain_telemetry_into(&mut st.pending);
+        match if finish { None } else { self.engine.peek_time() } {
+            None => st.batch.append(&mut st.pending),
+            Some(boundary) => {
+                let mut i = 0;
+                while i < st.pending.len() {
+                    if st.pending[i].at < boundary {
+                        st.batch.push(st.pending.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        st.doctor.ingest(&mut st.batch);
+        self.stream = Some(st);
+    }
+
+    /// Counts processed events toward the drain cadence and folds when
+    /// due. One branch when streaming is not attached.
+    #[inline]
+    fn stream_tick(&mut self, processed: u64) {
+        if self.stream.is_none() {
+            return;
+        }
+        self.stream_since += processed;
+        if self.stream_since >= self.stream_drain_every {
+            self.stream_since = 0;
+            self.stream_fold(false);
+        }
+    }
+
+    /// Detaches the streaming doctor after folding everything still
+    /// pending (rings included), stamping the observed ring pressure
+    /// into it. Returns `None` if streaming was never attached. Call at
+    /// end of run, then build the report with
+    /// [`StreamingDoctor::into_report`] over [`metrics`](World::metrics).
+    pub fn finish_streaming(&mut self) -> Option<StreamingDoctor> {
+        self.stream.as_ref()?;
+        self.stream_fold(true);
+        let mut st = self.stream.take()?;
+        let (hwm, dropped) = self.telemetry_pressure();
+        st.doctor.note_ring(hwm, dropped);
+        Some(st.doctor)
     }
 
     /// Harvests every counter in the system into one registry: HUB
@@ -604,9 +761,10 @@ impl World {
         reg.counter_add("pool.chaos_freed", self.chaos_freed);
         // Ring overflow across every recorder: nonzero means the event
         // stream is truncated and doctor findings must not be trusted.
-        let dropped = self.telemetry.dropped()
-            + self.hubs.iter().map(|h| h.telemetry().dropped()).sum::<u64>()
-            + self.cabs.iter().map(|cs| cs.sched.telemetry().dropped()).sum::<u64>();
+        // The companion high-water mark is per-ring and therefore
+        // shard-variant, so it lives in the runtime registry (see
+        // `ExpCtx::absorb`), never in this bit-compared one.
+        let (_, dropped) = self.telemetry_pressure();
         reg.counter_add("telemetry.dropped_events", dropped);
         reg
     }
@@ -814,10 +972,12 @@ impl World {
                 break;
             }
             self.engine.step_batch(&mut batch);
-            n += batch.len() as u64;
+            let processed = batch.len() as u64;
+            n += processed;
             for ev in batch.drain(..) {
                 self.dispatch(ev);
             }
+            self.stream_tick(processed);
         }
         self.batch = batch;
         if self.engine.now() < deadline {
@@ -892,10 +1052,12 @@ impl World {
                 return (n, QuiescenceOutcome::DeadlineReached);
             }
             self.engine.step_batch(&mut batch);
-            n += batch.len() as u64;
+            let processed = batch.len() as u64;
+            n += processed;
             for ev in batch.drain(..) {
                 self.dispatch(ev);
             }
+            self.stream_tick(processed);
         }
     }
 

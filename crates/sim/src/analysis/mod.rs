@@ -14,6 +14,9 @@
 //! * [`pathology`] — detectors for retransmit storms, head-of-line
 //!   blocking, mailbox saturation, and silent drops, each emitting a
 //!   typed [`Finding`](pathology::Finding) with evidence.
+//! * [`streaming`] — the same analysis as an incremental bounded-memory
+//!   fold: flights retire into online accumulators as the run
+//!   progresses, with periodic checkpoints a live consumer can poll.
 //! * [`compare`] — the perf-regression gate: diffs two bench reports on
 //!   deterministic simulated metrics with noise-aware tolerances.
 //!
@@ -27,6 +30,7 @@ pub mod compare;
 pub mod critical_path;
 pub mod flights;
 pub mod pathology;
+pub mod streaming;
 
 use crate::metrics::MetricsRegistry;
 use crate::telemetry::TelemetryEvent;

@@ -9,10 +9,11 @@
 //! truncated (telemetry ring overflow), so analyses over partial data
 //! say so instead of asserting.
 
-use super::flights::FlightTable;
+use super::flights::{Flight, FlightTable};
 use crate::metrics::MetricsRegistry;
 use crate::telemetry::EventKind;
 use crate::time::{Dur, Time};
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -130,140 +131,249 @@ pub fn detect(
         reassembly_mismatches(m, &mut findings);
     }
     silent_drops(table, cfg, &mut findings);
-    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.subject.cmp(&b.subject)));
+    sort_findings(&mut findings);
     findings
+}
+
+/// Orders findings by (severity desc, subject, first implicated
+/// flight, detector) — a total order over finding content, so report
+/// output is byte-identical across shard counts and repeat runs even
+/// when two findings share a subject.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.subject.cmp(&b.subject))
+            .then_with(|| {
+                let fa = a.flights.first().copied().unwrap_or(u64::MAX);
+                let fb = b.flights.first().copied().unwrap_or(u64::MAX);
+                fa.cmp(&fb)
+            })
+            .then_with(|| a.detector.cmp(b.detector))
+    });
+}
+
+/// Per-stream-direction retransmit fold. One instance per (cab, peer);
+/// flights can be folded in **any order** — evidence is the smallest
+/// `max_evidence` resent flight ids regardless of arrival order, so
+/// the post-hoc id-ascending walk and the streaming doctor's
+/// retirement-order folds produce identical findings.
+#[derive(Clone, Debug)]
+pub(crate) struct StreamAcc {
+    pub(crate) sends: usize,
+    pub(crate) resends: usize,
+    evidence: Vec<u64>,
+    lo: Time,
+    hi: Time,
+}
+
+impl StreamAcc {
+    pub(crate) fn new() -> StreamAcc {
+        StreamAcc { sends: 0, resends: 0, evidence: Vec::new(), lo: Time::MAX, hi: Time::ZERO }
+    }
+
+    /// Folds one data flight of the stream. `resend` carries the send
+    /// time and flight id when the flight was a retransmission.
+    pub(crate) fn add_data_flight(&mut self, resend: Option<(Time, u64)>, max_evidence: usize) {
+        self.sends += 1;
+        if let Some((at, id)) = resend {
+            self.resends += 1;
+            self.lo = self.lo.min(at);
+            self.hi = self.hi.max(at);
+            let pos = self.evidence.partition_point(|&e| e < id);
+            if pos < max_evidence {
+                self.evidence.insert(pos, id);
+                self.evidence.truncate(max_evidence);
+            }
+        }
+    }
+}
+
+/// Applies the storm thresholds to a folded stream.
+pub(crate) fn storm_finding(
+    cab: u16,
+    peer: u16,
+    acc: &StreamAcc,
+    cfg: &DoctorConfig,
+) -> Option<Finding> {
+    let (sends, resends) = (acc.sends, acc.resends);
+    if sends == 0 || resends < cfg.min_resends {
+        return None;
+    }
+    let ratio = resends as f64 / sends as f64;
+    if ratio < cfg.resend_ratio {
+        return None;
+    }
+    let total = resends;
+    Some(Finding {
+        detector: "retransmit_storm",
+        severity: if ratio >= 2.0 * cfg.resend_ratio { Severity::Critical } else { Severity::Warn },
+        confident: true,
+        summary: format!(
+            "{resends} of {sends} data sends were go-back-N resends \
+             ({:.0}% ≥ {:.0}% threshold; {total} resent flights)",
+            100.0 * ratio,
+            100.0 * cfg.resend_ratio
+        ),
+        subject: format!("stream {cab}->{peer}"),
+        window: Some((acc.lo, acc.hi)),
+        flights: acc.evidence.clone(),
+    })
+}
+
+/// Folds one flight into the per-stream storm accumulators.
+pub(crate) fn fold_storm(
+    f: &Flight,
+    streams: &mut BTreeMap<(u16, u16), StreamAcc>,
+    cfg: &DoctorConfig,
+) {
+    if !f.is_data() {
+        return;
+    }
+    let Some((cab, peer, _)) = f.stream_key() else { return };
+    let at = f.send().map(|e| e.at).unwrap_or(Time::ZERO);
+    let resend = f.is_retransmit().then_some((at, f.id));
+    streams
+        .entry((cab, peer))
+        .or_insert_with(StreamAcc::new)
+        .add_data_flight(resend, cfg.max_evidence);
 }
 
 /// Go-back-N resend ratio per stream direction.
 fn retransmit_storms(table: &FlightTable, cfg: &DoctorConfig, out: &mut Vec<Finding>) {
-    // (cab, peer) -> (data sends, resends, resend flight ids, window)
-    type StreamStats = (usize, usize, Vec<u64>, Time, Time);
-    let mut streams: BTreeMap<(u16, u16), StreamStats> = BTreeMap::new();
+    let mut streams: BTreeMap<(u16, u16), StreamAcc> = BTreeMap::new();
     for f in table.flights() {
-        if !f.is_data() {
-            continue;
-        }
-        let Some((cab, peer, _)) = f.stream_key() else { continue };
-        let at = f.send().map(|e| e.at).unwrap_or(Time::ZERO);
-        let e = streams.entry((cab, peer)).or_insert((0, 0, Vec::new(), Time::MAX, Time::ZERO));
-        e.0 += 1;
-        if f.is_retransmit() {
-            e.1 += 1;
-            e.2.push(f.id);
-            e.3 = e.3.min(at);
-            e.4 = e.4.max(at);
-        }
+        fold_storm(f, &mut streams, cfg);
     }
-    for ((cab, peer), (sends, resends, mut flights, lo, hi)) in streams {
-        if sends == 0 || resends < cfg.min_resends {
-            continue;
+    for ((cab, peer), acc) in &streams {
+        out.extend(storm_finding(*cab, *peer, acc, cfg));
+    }
+}
+
+/// Per-HUB-input queue-wait fold. Flights can be folded in any order:
+/// the worst list keeps the top `max_evidence` samples under the total
+/// order (wait desc, flight id), and the means are plain sums.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PortAcc {
+    wait: Dur,
+    service: Dur,
+    pub(crate) n: usize,
+    worst: Vec<(Dur, u64)>,
+    lo: Option<Time>,
+    hi: Option<Time>,
+}
+
+impl PortAcc {
+    pub(crate) fn add_sample(
+        &mut self,
+        wait: Dur,
+        service: Dur,
+        enqueued: Time,
+        flight: u64,
+        max_evidence: usize,
+    ) {
+        self.wait += wait;
+        self.service += service;
+        self.n += 1;
+        let key = (Reverse(wait), flight);
+        let pos = self.worst.partition_point(|&(w, id)| (Reverse(w), id) < key);
+        if pos < max_evidence {
+            self.worst.insert(pos, (wait, flight));
+            self.worst.truncate(max_evidence);
         }
-        let ratio = resends as f64 / sends as f64;
-        if ratio < cfg.resend_ratio {
+        self.lo = Some(self.lo.map_or(enqueued, |t| t.min(enqueued)));
+        self.hi = Some(self.hi.map_or(enqueued, |t| t.max(enqueued)));
+    }
+}
+
+/// Applies the head-of-line thresholds to a folded port.
+pub(crate) fn hol_finding(
+    hub: u8,
+    input: u8,
+    port: &PortAcc,
+    cfg: &DoctorConfig,
+) -> Option<Finding> {
+    if port.n < cfg.hol_min_samples {
+        return None;
+    }
+    let mean_wait = port.wait / port.n as u64;
+    let mean_service = port.service / port.n as u64;
+    if mean_wait < cfg.hol_min_wait {
+        return None;
+    }
+    let dominance = mean_wait.nanos() as f64 / mean_service.nanos().max(1) as f64;
+    if dominance < cfg.hol_dominance {
+        return None;
+    }
+    Some(Finding {
+        detector: "head_of_line",
+        severity: Severity::Warn,
+        confident: true,
+        summary: format!(
+            "mean queue wait {mean_wait} is {dominance:.1}x mean service time \
+             {mean_service} over {} packets",
+            port.n
+        ),
+        subject: format!("hub{hub} input {input}"),
+        window: port.lo.zip(port.hi),
+        flights: port.worst.iter().map(|&(_, id)| id).collect(),
+    })
+}
+
+/// Folds one flight's HUB hops into the per-port accumulators. The
+/// flight's events must be in time order (flight tables keep them so).
+pub(crate) fn fold_head_of_line(
+    f: &Flight,
+    ports: &mut BTreeMap<(u8, u8), PortAcc>,
+    cfg: &DoctorConfig,
+) {
+    if f.malformed() {
+        return;
+    }
+    let evs = &f.events;
+    for (i, ev) in evs.iter().enumerate() {
+        let EventKind::CrossbarEnqueue { hub, input, .. } = ev.kind else { continue };
+        // Find this hop's forward and the event after it.
+        let Some(fwd) = evs[i + 1..].iter().position(|e| {
+            matches!(e.kind, EventKind::CrossbarForward { hub: h, input: p, .. }
+                if h == hub && p == input)
+        }) else {
             continue;
-        }
-        let total = flights.len();
-        flights.truncate(cfg.max_evidence);
-        out.push(Finding {
-            detector: "retransmit_storm",
-            severity: if ratio >= 2.0 * cfg.resend_ratio {
-                Severity::Critical
-            } else {
-                Severity::Warn
-            },
-            confident: true,
-            summary: format!(
-                "{resends} of {sends} data sends were go-back-N resends \
-                 ({:.0}% ≥ {:.0}% threshold; {total} resent flights)",
-                100.0 * ratio,
-                100.0 * cfg.resend_ratio
-            ),
-            subject: format!("stream {cab}->{peer}"),
-            window: Some((lo, hi)),
-            flights,
-        });
+        };
+        let fwd_idx = i + 1 + fwd;
+        let wait = evs[fwd_idx].at.saturating_since(ev.at);
+        // Service proxy: forward to the packet's next datapath event
+        // (next hop arrival or receive DMA start).
+        let service = evs[fwd_idx + 1..]
+            .iter()
+            .find(|e| {
+                matches!(e.kind, EventKind::CrossbarEnqueue { .. } | EventKind::DmaStart { .. })
+            })
+            .map(|e| e.at.saturating_since(evs[fwd_idx].at))
+            .unwrap_or(Dur::ZERO);
+        ports.entry((hub, input)).or_default().add_sample(
+            wait,
+            service,
+            ev.at,
+            f.id,
+            cfg.max_evidence,
+        );
     }
 }
 
 /// Queue wait vs service time per HUB input port.
 fn head_of_line(table: &FlightTable, cfg: &DoctorConfig, out: &mut Vec<Finding>) {
-    // (hub, input) -> per-packet (wait, service, flight, enqueue time)
-    #[derive(Default)]
-    struct Port {
-        wait: Dur,
-        service: Dur,
-        n: usize,
-        worst: Vec<(Dur, u64)>,
-        lo: Option<Time>,
-        hi: Option<Time>,
-    }
-    let mut ports: BTreeMap<(u8, u8), Port> = BTreeMap::new();
+    let mut ports: BTreeMap<(u8, u8), PortAcc> = BTreeMap::new();
     for f in table.flights() {
-        if f.malformed() {
-            continue;
-        }
-        let evs = &f.events;
-        for (i, ev) in evs.iter().enumerate() {
-            let EventKind::CrossbarEnqueue { hub, input, .. } = ev.kind else { continue };
-            // Find this hop's forward and the event after it.
-            let Some(fwd) = evs[i + 1..].iter().position(|e| {
-                matches!(e.kind, EventKind::CrossbarForward { hub: h, input: p, .. }
-                    if h == hub && p == input)
-            }) else {
-                continue;
-            };
-            let fwd_idx = i + 1 + fwd;
-            let wait = evs[fwd_idx].at.saturating_since(ev.at);
-            // Service proxy: forward to the packet's next datapath event
-            // (next hop arrival or receive DMA start).
-            let service = evs[fwd_idx + 1..]
-                .iter()
-                .find(|e| {
-                    matches!(e.kind, EventKind::CrossbarEnqueue { .. } | EventKind::DmaStart { .. })
-                })
-                .map(|e| e.at.saturating_since(evs[fwd_idx].at))
-                .unwrap_or(Dur::ZERO);
-            let port = ports.entry((hub, input)).or_default();
-            port.wait += wait;
-            port.service += service;
-            port.n += 1;
-            port.worst.push((wait, f.id));
-            port.lo = Some(port.lo.map_or(ev.at, |t| t.min(ev.at)));
-            port.hi = Some(port.hi.map_or(ev.at, |t| t.max(ev.at)));
-        }
+        fold_head_of_line(f, &mut ports, cfg);
     }
-    for ((hub, input), mut port) in ports {
-        if port.n < cfg.hol_min_samples {
-            continue;
-        }
-        let mean_wait = port.wait / port.n as u64;
-        let mean_service = port.service / port.n as u64;
-        if mean_wait < cfg.hol_min_wait {
-            continue;
-        }
-        let dominance = mean_wait.nanos() as f64 / mean_service.nanos().max(1) as f64;
-        if dominance < cfg.hol_dominance {
-            continue;
-        }
-        port.worst.sort_by_key(|&(wait, _)| std::cmp::Reverse(wait));
-        out.push(Finding {
-            detector: "head_of_line",
-            severity: Severity::Warn,
-            confident: true,
-            summary: format!(
-                "mean queue wait {mean_wait} is {dominance:.1}x mean service time \
-                 {mean_service} over {} packets",
-                port.n
-            ),
-            subject: format!("hub{hub} input {input}"),
-            window: port.lo.zip(port.hi),
-            flights: port.worst.iter().take(cfg.max_evidence).map(|&(_, id)| id).collect(),
-        });
+    for ((hub, input), port) in &ports {
+        out.extend(hol_finding(*hub, *input, port, cfg));
     }
 }
 
 /// High-water marks and rejects from the metrics registry.
-fn mailbox_saturation(m: &MetricsRegistry, cfg: &DoctorConfig, out: &mut Vec<Finding>) {
+pub(crate) fn mailbox_saturation(m: &MetricsRegistry, cfg: &DoctorConfig, out: &mut Vec<Finding>) {
     let capacity = m.gauge("mailbox.capacity_bytes").unwrap_or(0.0);
     for (name, peak) in m.gauges() {
         let Some(cab) = name.strip_prefix("cab").and_then(|r| {
@@ -297,7 +407,7 @@ fn mailbox_saturation(m: &MetricsRegistry, cfg: &DoctorConfig, out: &mut Vec<Fin
 /// reassembly: corruption the checksum missed (or a protocol bug). The
 /// transport drops and counts these instead of panicking; any nonzero
 /// count deserves eyes, so there is no threshold.
-fn reassembly_mismatches(m: &MetricsRegistry, out: &mut Vec<Finding>) {
+pub(crate) fn reassembly_mismatches(m: &MetricsRegistry, out: &mut Vec<Finding>) {
     for (name, count) in m.counters() {
         let Some(cab) = name.strip_prefix("cab").and_then(|r| {
             r.strip_suffix(".transport.reassembly_mismatches").and_then(|c| c.parse::<usize>().ok())
@@ -359,13 +469,22 @@ fn silent_drops(table: &FlightTable, cfg: &DoctorConfig, out: &mut Vec<Finding>)
             .map(|k| slot_counts.get(&k).copied().unwrap_or(0) <= 1)
             .unwrap_or(true)
     });
+    out.extend(silent_drop_finding(lost, cfg));
+}
+
+/// Builds the silent-drop finding from the surviving `(send time,
+/// flight id)` candidates; `None` when the list is empty.
+pub(crate) fn silent_drop_finding(
+    mut lost: Vec<(Time, u64)>,
+    cfg: &DoctorConfig,
+) -> Option<Finding> {
     if lost.is_empty() {
-        return;
+        return None;
     }
     lost.sort();
     let (lo, hi) = (lost[0].0, lost[lost.len() - 1].0);
     let total = lost.len();
-    out.push(Finding {
+    Some(Finding {
         detector: "silent_drops",
         severity: Severity::Critical,
         confident: true,
@@ -375,7 +494,7 @@ fn silent_drops(table: &FlightTable, cfg: &DoctorConfig, out: &mut Vec<Finding>)
         subject: "network".to_string(),
         window: Some((lo, hi)),
         flights: lost.into_iter().take(cfg.max_evidence).map(|(_, id)| id).collect(),
-    });
+    })
 }
 
 #[cfg(test)]

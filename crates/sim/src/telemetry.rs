@@ -199,6 +199,52 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// A total order over event content: the variant's rank followed by
+    /// its fields in declaration order, packed into a fixed tuple. Used
+    /// as the kind component of the canonical telemetry order (see
+    /// `nectar-core`'s `canonical_telemetry_sort`), so same-instant
+    /// events from different recorder rings compare identically no
+    /// matter which ring — or which shard — recorded them. Cheap to
+    /// compute on purpose: the streaming doctor sorts every fold batch
+    /// with this key.
+    pub fn canonical_key(&self) -> (u8, u64, u64, u64) {
+        match *self {
+            EventKind::AppRecv { cab, mailbox, bytes } => {
+                (0, cab as u64, mailbox as u64, bytes as u64)
+            }
+            EventKind::AppSend { cab, dst, bytes } => (1, cab as u64, dst as u64, bytes as u64),
+            EventKind::ConnectionClose { hub, input, output } => {
+                (2, hub as u64, input as u64, output as u64)
+            }
+            EventKind::ConnectionOpen { hub, input, output } => {
+                (3, hub as u64, input as u64, output as u64)
+            }
+            EventKind::CrossbarEnqueue { hub, input, bytes } => {
+                (4, hub as u64, input as u64, bytes as u64)
+            }
+            EventKind::CrossbarForward { hub, input, output, bytes } => {
+                (5, hub as u64, (input as u64) << 32 | output as u64, bytes as u64)
+            }
+            EventKind::DatalinkRetry { cab } => (6, cab as u64, 0, 0),
+            EventKind::DmaComplete { cab, channel, bytes } => {
+                (7, cab as u64, channel as u64, bytes as u64)
+            }
+            EventKind::DmaStart { cab, channel, bytes } => {
+                (8, cab as u64, channel as u64, bytes as u64)
+            }
+            EventKind::FiberTx { cab, bytes } => (9, cab as u64, bytes as u64, 0),
+            EventKind::ThreadSwitch { cab, from, to } => (10, cab as u64, from as u64, to as u64),
+            EventKind::TransportAck { cab, peer, ack } => (11, cab as u64, peer as u64, ack as u64),
+            EventKind::TransportSend { cab, peer, seq, bytes, retransmit } => (
+                12,
+                (cab as u64) << 32 | peer as u64,
+                (seq as u64) << 1 | retransmit as u64,
+                bytes as u64,
+            ),
+            EventKind::TransportTimeout { cab, peer } => (13, cab as u64, peer as u64, 0),
+        }
+    }
+
     /// Short stable name, used by exporters and trace dumps.
     pub fn label(&self) -> &'static str {
         match self {
@@ -231,6 +277,18 @@ pub struct TelemetryEvent {
     pub kind: EventKind,
 }
 
+impl TelemetryEvent {
+    /// The canonical total order over events: `(at, flight, kind
+    /// content)`. Merging per-ring (or per-shard) event streams and
+    /// sorting by this key yields the same sequence regardless of how
+    /// the run was partitioned — the property both the sharded
+    /// determinism tests and the streaming doctor's fold batches rely
+    /// on.
+    pub fn canonical_key(&self) -> (Time, u64, (u8, u64, u64, u64)) {
+        (self.at, self.flight.0, self.kind.canonical_key())
+    }
+}
+
 impl fmt::Display for TelemetryEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {} {} {:?}", self.at, self.flight, self.kind.label(), self.kind)
@@ -250,6 +308,7 @@ pub struct Telemetry {
     capacity: usize,
     enabled: bool,
     dropped: u64,
+    hwm: usize,
     subject: u16,
 }
 
@@ -260,6 +319,7 @@ impl Default for Telemetry {
             capacity: 1 << 16,
             enabled: false,
             dropped: 0,
+            hwm: 0,
             subject: 0,
         }
     }
@@ -309,6 +369,7 @@ impl Telemetry {
             self.dropped += 1;
         }
         self.ring.push_back(TelemetryEvent { at, flight, kind });
+        self.hwm = self.hwm.max(self.ring.len());
     }
 
     /// Number of retained events.
@@ -326,6 +387,31 @@ impl Telemetry {
         self.dropped
     }
 
+    /// Most events ever resident at once (survives drains and clears).
+    pub fn high_water_mark(&self) -> usize {
+        self.hwm
+    }
+
+    /// Resizes the ring. Shrinking below the current occupancy drops
+    /// the oldest events (they count as dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "telemetry capacity must be positive");
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.capacity = capacity;
+    }
+
+    /// Current ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Iterates oldest-to-newest.
     pub fn events(&self) -> impl Iterator<Item = &TelemetryEvent> {
         self.ring.iter()
@@ -334,6 +420,12 @@ impl Telemetry {
     /// Removes and returns all retained events, oldest first.
     pub fn drain(&mut self) -> Vec<TelemetryEvent> {
         self.ring.drain(..).collect()
+    }
+
+    /// Moves all retained events (oldest first) onto the end of `out`
+    /// without allocating a fresh vector — the streaming drain path.
+    pub fn drain_into(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.extend(self.ring.drain(..));
     }
 
     /// Discards all retained events (the drop counter is kept).
@@ -386,6 +478,45 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].at, t(5));
         assert_eq!(out[1].flight, FlightId(3));
+    }
+
+    #[test]
+    fn high_water_mark_survives_drain() {
+        let mut tel = Telemetry::with_capacity(4);
+        for i in 0..3 {
+            tel.record(t(i), FlightId(i), fwd(0));
+        }
+        assert_eq!(tel.high_water_mark(), 3);
+        let mut out = Vec::new();
+        tel.drain_into(&mut out);
+        assert_eq!(out.len(), 3);
+        assert!(tel.is_empty());
+        assert_eq!(tel.high_water_mark(), 3);
+        tel.record(t(9), FlightId(9), fwd(0));
+        assert_eq!(tel.high_water_mark(), 3);
+    }
+
+    #[test]
+    fn set_capacity_shrink_drops_oldest() {
+        let mut tel = Telemetry::with_capacity(4);
+        for i in 0..4 {
+            tel.record(t(i), FlightId(i), fwd(0));
+        }
+        tel.set_capacity(2);
+        assert_eq!(tel.capacity(), 2);
+        assert_eq!(tel.len(), 2);
+        assert_eq!(tel.dropped(), 2);
+        assert_eq!(tel.events().next().unwrap().flight, FlightId(2));
+    }
+
+    #[test]
+    fn canonical_key_orders_by_content() {
+        let a = TelemetryEvent { at: t(5), flight: FlightId(1), kind: fwd(0) };
+        let b = TelemetryEvent { at: t(5), flight: FlightId(1), kind: fwd(1) };
+        let c = TelemetryEvent { at: t(4), flight: FlightId(9), kind: fwd(7) };
+        assert!(c.canonical_key() < a.canonical_key());
+        assert!(a.canonical_key() < b.canonical_key());
+        assert_eq!(a.canonical_key(), a.canonical_key());
     }
 
     #[test]
