@@ -3,8 +3,13 @@
 //! object) and a Chrome trace-event file from `report --trace`.
 //!
 //! ```text
-//! check_export --bench BENCH_sim.json [--expect-metrics] [--trace trace.json]
+//! check_export --bench BENCH_sim.json [--expect-metrics]
+//!              [--trace trace.json] [--expect-host]
 //! ```
+//!
+//! `--expect-host` additionally requires the trace to carry host-time
+//! tracks (from `report --profile --trace`): complete slices on the
+//! host process group whose names are profiler phase labels.
 //!
 //! Exits non-zero with a diagnostic on the first violation; CI runs it
 //! after the bench smoke to keep the export formats honest.
@@ -12,7 +17,7 @@
 use nectar_sim::json::{parse, Json};
 
 fn usage() -> ! {
-    eprintln!("usage: check_export --bench PATH [--expect-metrics] [--trace PATH]");
+    eprintln!("usage: check_export --bench PATH [--expect-metrics] [--trace PATH] [--expect-host]");
     std::process::exit(2);
 }
 
@@ -67,7 +72,7 @@ fn check_bench(path: &str, expect_metrics: bool) {
     println!("check_export: {path} ok ({} experiments)", exps.len());
 }
 
-fn check_trace(path: &str) {
+fn check_trace(path: &str, expect_host: bool) {
     let v = load(path);
     let events = v
         .get("traceEvents")
@@ -76,7 +81,12 @@ fn check_trace(path: &str) {
     if events.is_empty() {
         fail(&format!("{path}: empty trace — was the experiment instrumented?"));
     }
+    let host_pid = f64::from(nectar_sim::export::HOST_PID);
+    let phase_labels: Vec<&str> =
+        nectar_sim::profile::Phase::ALL.iter().map(|p| p.label()).collect();
     let mut hub_pids = std::collections::BTreeSet::new();
+    let mut host_tids = std::collections::BTreeSet::new();
+    let mut host_slices = 0u64;
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -94,20 +104,52 @@ fn check_trace(path: &str) {
         if ph == "X" && (1.0..1000.0).contains(&pid) {
             hub_pids.insert(pid as u64);
         }
+        // Host-time slices live on the host process group and must be
+        // named after profiler phases.
+        if ph == "X" && pid >= host_pid {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail(&format!("{path}: host slice {i} has no name")));
+            if !phase_labels.contains(&name) {
+                fail(&format!("{path}: host slice {i} has unknown phase name {name:?}"));
+            }
+            if e.get("dur").and_then(Json::as_f64).is_none() {
+                fail(&format!("{path}: host slice {i} has no dur"));
+            }
+            if let Some(tid) = e.get("tid").and_then(Json::as_f64) {
+                host_tids.insert(tid as u64);
+            }
+            host_slices += 1;
+        }
     }
-    println!("check_export: {path} ok ({} events, {} HUB tracks)", events.len(), hub_pids.len());
+    if expect_host && host_slices == 0 {
+        fail(&format!("{path}: --expect-host but no host-time slices (pid >= 5000) in the trace"));
+    }
+    println!(
+        "check_export: {path} ok ({} events, {} HUB tracks{})",
+        events.len(),
+        hub_pids.len(),
+        if host_slices > 0 {
+            format!(", {host_slices} host slices on {} tracks", host_tids.len())
+        } else {
+            String::new()
+        }
+    );
 }
 
 fn main() {
     let mut bench: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut expect_metrics = false;
+    let mut expect_host = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             "--expect-metrics" => expect_metrics = true,
+            "--expect-host" => expect_host = true,
             _ => usage(),
         }
     }
@@ -118,6 +160,6 @@ fn main() {
         check_bench(&p, expect_metrics);
     }
     if let Some(p) = trace {
-        check_trace(&p);
+        check_trace(&p, expect_host);
     }
 }

@@ -38,6 +38,15 @@
 //! point bit-compared against its 1-shard reference — and records it
 //! as the `scaling` array of `BENCH_sim.json` together with the host
 //! description (`docs/parallel.md`, "Measuring the speedup curve").
+//! `--profile` turns on the host-time profiler for every sharded world
+//! (`docs/parallel.md`, "Reading the host-time profile"): per-shard
+//! phase breakdowns, parallel efficiency, the Karp–Flatt serial
+//! fraction, and the scaling doctor's ranked bottleneck verdict, per
+//! experiment and (with `--scaling`) per speedup-curve point. Purely
+//! observational: the determinism diffs prove the simulated metrics
+//! are bit-identical with it on or off. Combined with `--trace` on an
+//! e26 experiment, the Chrome trace gains host-time tracks next to the
+//! simulated ones.
 //!
 //! Every experiment builds its own world, so they are embarrassingly
 //! parallel: with `--jobs N` the registry is drained by `N` scoped
@@ -61,13 +70,17 @@ struct Outcome {
     /// every row and metric, so under `--jobs` it happens off the main
     /// thread and the flush is a single buffered write.
     rendered: String,
+    /// Median wall time across repeats.
     wall: Duration,
+    /// Every repeat's wall time, in run order — `--repeat N` jitter
+    /// lands in the JSON host object, not just the median.
+    walls: Vec<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: report [--list] [--jobs N] [--shards N] [--repeat N] \
-         [--scaling] [--json PATH] [--metrics] [--doctor] \
+         [--scaling] [--profile] [--json PATH] [--metrics] [--doctor] \
          [--stream] [--telemetry-cap N] [--stream-budget BYTES] \
          [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
          [--chaos-seed N] [--chaos-spec PROG] [ids... | all]"
@@ -80,6 +93,7 @@ fn main() {
     let mut shards: usize = 1;
     let mut repeat: usize = 1;
     let mut scaling = false;
+    let mut profile = false;
     let mut json_path = String::from("BENCH_sim.json");
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
@@ -129,6 +143,7 @@ fn main() {
                 }
             }
             "--scaling" => scaling = true,
+            "--profile" => profile = true,
             "--json" => json_path = args.next().unwrap_or_else(|| usage()),
             "--metrics" => metrics = true,
             "--doctor" => doctor = true,
@@ -192,6 +207,7 @@ fn main() {
         stream,
         telemetry_cap,
         stream_budget,
+        profile,
     };
     let results = run_experiments(&selected, jobs, repeat, base_ctx, doctor, trace_id.as_deref());
     {
@@ -209,18 +225,31 @@ fn main() {
     if doctor {
         print_doctor(&results);
     }
+    if profile {
+        print_profile(&results);
+    }
     if let Some(tid) = &trace_id {
         let r = results.iter().find(|r| r.id == tid).expect("traced experiment ran");
         let path = trace_out.unwrap_or_else(|| format!("trace_{tid}.json"));
-        let trace = nectar_sim::export::chrome_trace(&r.table.trace);
+        // With --profile, the traced experiment's host-time spans ride
+        // along as extra tracks in the same trace file.
+        let trace = nectar_sim::export::chrome_trace_with_host(
+            &r.table.trace,
+            r.table.host_profile.as_ref(),
+        );
         match std::fs::write(&path, &trace) {
-            Ok(()) => eprintln!("wrote {path} ({} telemetry events)", r.table.trace.len()),
+            Ok(()) => eprintln!(
+                "wrote {path} ({} telemetry events{})",
+                r.table.trace.len(),
+                if r.table.host_profile.is_some() { ", with host-time tracks" } else { "" }
+            ),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
     let points = if scaling {
         let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let sweep = nectar_bench::experiments::scale::scaling_sweep(&[1, 2, 4, shards, cores]);
+        let sweep =
+            nectar_bench::experiments::scale::scaling_sweep(&[1, 2, 4, shards, cores], profile);
         print_scaling(&sweep);
         sweep
     } else {
@@ -238,15 +267,44 @@ fn main() {
     }
 }
 
-/// Renders an experiment's runtime registry (runner counters, ring
-/// pressure) — kept visually apart from the bit-compared metrics.
-fn print_runtime(runtime: Option<&nectar_sim::metrics::MetricsRegistry>) {
-    let Some(rt) = runtime else { return };
+/// Formats an experiment's runtime registry (runner counters, ring
+/// pressure) as one line — kept visually apart from the bit-compared
+/// metrics. `None` when the registry is absent or empty.
+fn runtime_line(runtime: Option<&nectar_sim::metrics::MetricsRegistry>) -> Option<String> {
+    let rt = runtime?;
     let counters: Vec<String> = rt.counters().map(|(k, v)| format!("{k}={v}")).collect();
     let gauges: Vec<String> = rt.gauges().map(|(k, v)| format!("{k}={v:.0}")).collect();
-    if !counters.is_empty() || !gauges.is_empty() {
-        println!("  runtime (not bit-compared): {}", [gauges, counters].concat().join(" "));
+    if counters.is_empty() && gauges.is_empty() {
+        return None;
     }
+    Some(format!("  runtime (not bit-compared): {}", [gauges, counters].concat().join(" ")))
+}
+
+/// Prints [`runtime_line`] when there is anything to print.
+fn print_runtime(runtime: Option<&nectar_sim::metrics::MetricsRegistry>) {
+    if let Some(line) = runtime_line(runtime) {
+        println!("{line}");
+    }
+}
+
+/// Prints the host-time profile and the scaling doctor's verdict for
+/// every experiment that drove a sharded world under `--profile`.
+/// Experiments that never shard have no host profile and are listed as
+/// such rather than silently skipped.
+fn print_profile(results: &[Outcome]) {
+    println!("host-time profile — where the wall-clock went");
+    println!("=============================================");
+    for r in results {
+        let Some(p) = &r.table.profile else { continue };
+        println!("\n{} — {} shards, {} windows", r.id, p.shards, p.windows);
+        print!("{}", p.render());
+    }
+    let skipped: Vec<&str> =
+        results.iter().filter(|r| r.table.profile.is_none()).map(|r| r.id).collect();
+    if !skipped.is_empty() {
+        println!("\n(no sharded run to profile for: {})", skipped.join(", "));
+    }
+    println!();
 }
 
 /// Prints the streaming doctor's verdicts: one block per experiment
@@ -382,14 +440,19 @@ fn run_experiments(
             }
             table = Some(t);
         }
-        walls.sort_unstable();
-        let wall = walls[walls.len() / 2];
+        let mut sorted = walls.clone();
+        sorted.sort_unstable();
+        let wall = sorted[sorted.len() / 2];
         let table = table.expect("repeat >= 1");
         // Render while still on the worker: Display walks every row,
         // note, and (under --metrics) histogram, and the result is the
         // only thing main has to push through the stdout lock.
-        let rendered = table.to_string();
-        Outcome { id, table, rendered, wall }
+        let mut rendered = table.to_string();
+        if let Some(line) = runtime_line(table.runtime.as_ref()) {
+            rendered.push_str(&line);
+            rendered.push('\n');
+        }
+        Outcome { id, table, rendered, wall, walls }
     };
     if jobs <= 1 || selected.len() <= 1 {
         return selected.iter().map(|&(id, _, run)| execute(id, run)).collect();
@@ -459,30 +522,66 @@ fn cpus_online(usable: usize) -> usize {
 /// `--compare` needs to decide whether wall-clock numbers from this
 /// run are comparable at all. `cores` is what the process may actually
 /// use (affinity-aware); `pinned` records whether that is fewer than
-/// the machine has online.
-fn host_json(repeat: usize) -> String {
+/// the machine has online. Under `--repeat N` the object also carries
+/// `walls_ms` — every repeat's wall time per experiment, in run order,
+/// so the jitter behind the reported median is inspectable.
+fn host_json(repeat: usize, results: &[Outcome]) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let online = cpus_online(cores);
+    let walls = if repeat > 1 {
+        let per_exp: Vec<String> = results
+            .iter()
+            .map(|r| {
+                let ms: Vec<String> =
+                    r.walls.iter().map(|w| format!("{:.3}", w.as_secs_f64() * 1e3)).collect();
+                format!("\"{}\": [{}]", json_escape(r.id), ms.join(", "))
+            })
+            .collect();
+        format!(", \"walls_ms\": {{{}}}", per_exp.join(", "))
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"cores\": {cores}, \"online\": {online}, \"pinned\": {}, \"repeat\": {repeat}}}",
+        "{{\"cores\": {cores}, \"online\": {online}, \"pinned\": {}, \"repeat\": {repeat}{walls}}}",
         cores < online
     )
 }
 
-/// Prints the speedup curve as a table on stdout.
+/// Prints the speedup curve as a table on stdout. When the sweep was
+/// profiled, every point also shows its parallel efficiency, Karp–Flatt
+/// serial fraction, and the scaling doctor's primary verdict.
 fn print_scaling(points: &[nectar_bench::experiments::scale::ScalingPoint]) {
     println!("speedup curve (per point vs its 1-shard reference)");
+    let profiled = points.iter().any(|p| p.profile.is_some());
     println!(
-        "{:<6} {:<18} {:>6} {:>6} {:>10} {:>9} {:>8} {:>11} {:>9}  deterministic",
-        "exp", "topology", "shards", "chaos", "events", "wall", "speedup", "barrier", "exchanged"
+        "{:<6} {:<18} {:>6} {:>6} {:>10} {:>9} {:>8} {:>11} {:>9}  deterministic{}",
+        "exp",
+        "topology",
+        "shards",
+        "chaos",
+        "events",
+        "wall",
+        "speedup",
+        "barrier",
+        "exchanged",
+        if profiled { "  eff    kf     verdict" } else { "" },
     );
     for p in points {
         let reference = points
             .iter()
             .find(|r| r.experiment == p.experiment && r.chaos == p.chaos && r.shards == 1)
             .expect("sweep always includes the 1-shard reference");
+        let attribution = match &p.profile {
+            Some(a) => format!(
+                "  {:>5.2} {:>6.3} {}",
+                a.efficiency,
+                a.karp_flatt,
+                a.primary().kind.label(),
+            ),
+            None => String::new(),
+        };
         println!(
-            "{:<6} {:<18} {:>6} {:>6} {:>10} {:>8.1}ms {:>7.2}x {:>9.1}ms {:>9}  {}",
+            "{:<6} {:<18} {:>6} {:>6} {:>10} {:>8.1}ms {:>7.2}x {:>9.1}ms {:>9}  {}{}",
             p.experiment,
             p.topology,
             p.shards,
@@ -493,6 +592,7 @@ fn print_scaling(points: &[nectar_bench::experiments::scale::ScalingPoint]) {
             p.barrier_wait_ns as f64 / 1e6,
             p.exchanged_events,
             if p.deterministic { "yes" } else { "NO — DETERMINISM VIOLATED" },
+            attribution,
         );
     }
     println!();
@@ -513,7 +613,7 @@ fn render_json(
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"shards\": {shards},\n"));
-    s.push_str(&format!("  \"host\": {},\n", host_json(repeat)));
+    s.push_str(&format!("  \"host\": {},\n", host_json(repeat, results)));
     let total_events: u64 = results.iter().map(|r| r.table.events).sum();
     let total_wall: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
     s.push_str(&format!("  \"total_events\": {total_events},\n"));
@@ -532,6 +632,12 @@ fn render_json(
         let runtime = match &r.table.runtime {
             Some(rt) if !rt.is_empty() => format!(", \"runtime\": {}", rt.to_json()),
             _ => String::new(),
+        };
+        // Host-time profile: like "runtime", a sibling of "metrics",
+        // because host wall-clock is never part of the fingerprint.
+        let profile = match &r.table.profile {
+            Some(p) => format!(", \"profile\": {}", p.to_json()),
+            None => String::new(),
         };
         let stream = match &r.table.stream {
             Some(s) => {
@@ -565,7 +671,7 @@ fn render_json(
             format!(", \"notes\": [{}]", quoted.join(", "))
         };
         s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}{}{}{}}}{}\n",
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}{}{}{}{}{}}}{}\n",
             json_escape(r.id),
             json_escape(&r.table.title),
             wall_s * 1e3,
@@ -574,6 +680,7 @@ fn render_json(
             notes,
             metrics,
             runtime,
+            profile,
             stream,
             if i + 1 < results.len() { "," } else { "" },
         ));
@@ -583,11 +690,15 @@ fn render_json(
         s.push_str(",\n  \"scaling\": [\n");
         for (i, p) in scaling.iter().enumerate() {
             let eps = if p.wall_s > 0.0 { p.events as f64 / p.wall_s } else { 0.0 };
+            let profile = match &p.profile {
+                Some(a) => format!(", \"profile\": {}", a.to_json()),
+                None => String::new(),
+            };
             s.push_str(&format!(
                 "    {{\"experiment\": \"{}\", \"topology\": \"{}\", \"shards\": {}, \
                  \"chaos\": {}, \"events\": {}, \"wall_ms\": {:.3}, \
                  \"events_per_sec\": {eps:.0}, \"windows\": {}, \"barrier_wait_ns\": {}, \
-                 \"exchanged_events\": {}, \"deterministic\": {}}}{}\n",
+                 \"exchanged_events\": {}, \"deterministic\": {}{}}}{}\n",
                 json_escape(p.experiment),
                 json_escape(p.topology),
                 p.shards,
@@ -598,6 +709,7 @@ fn render_json(
                 p.barrier_wait_ns,
                 p.exchanged_events,
                 p.deterministic,
+                profile,
                 if i + 1 < scaling.len() { "," } else { "" },
             ));
         }

@@ -53,6 +53,12 @@ pub struct ExpCtx {
     ///
     /// [`StreamConfig::memory_budget`]: nectar_sim::analysis::streaming::StreamConfig::memory_budget
     pub stream_budget: Option<usize>,
+    /// Collect a host-time profile from every sharded world
+    /// (`report --profile`): phase spans per shard worker, straggler
+    /// attribution, efficiency/Karp–Flatt estimates, and a ranked
+    /// scaling-doctor verdict. Purely observational — simulated
+    /// metrics stay bit-identical with this on or off.
+    pub profile: bool,
 }
 
 impl ExpCtx {
@@ -96,6 +102,9 @@ impl ExpCtx {
             world.attach_streaming(self.stream_config());
         } else if self.observing() {
             world.enable_observability();
+        }
+        if self.profile {
+            world.enable_profiling();
         }
     }
 
@@ -158,6 +167,15 @@ impl ExpCtx {
         }
         if self.trace {
             table.trace.extend(world.telemetry_events());
+        }
+        if self.profile {
+            // An experiment may drive several sharded worlds (e.g. a
+            // determinism rerun); the profile kept is the last
+            // absorbed one — the measured run, by convention.
+            table.profile = world.profile_analysis();
+            if self.trace {
+                table.host_profile = world.host_profile();
+            }
         }
     }
 

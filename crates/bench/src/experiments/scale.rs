@@ -79,12 +79,23 @@ fn scaled_workload(topo: &Topology) -> Vec<(Time, usize, AppSend)> {
     sends
 }
 
-/// One timed run of the workload at `shards` shards. Returns the
-/// events processed, the wall seconds, the metrics JSON (the
-/// determinism fingerprint), and the runner's runtime counters
-/// (windows, barrier wait, exchanged events — see
-/// [`ShardedWorld::runtime_metrics`]). Only the `absorb` run feeds the
-/// table's metrics/trace so a reference run never double-counts.
+/// One timed run's measurements, before any table formatting.
+struct TimedRun {
+    /// Simulation events processed.
+    events: u64,
+    /// Wall-clock seconds.
+    wall_s: f64,
+    /// Metrics JSON — the determinism fingerprint.
+    fingerprint: String,
+    /// Runner counters (windows, barrier wait, exchanged events).
+    runtime: nectar_sim::metrics::MetricsRegistry,
+    /// Scaling-doctor analysis, when the ctx asked for `--profile`.
+    profile: Option<nectar_sim::profile::ProfileAnalysis>,
+}
+
+/// One timed run of the workload at `shards` shards. Only the `absorb`
+/// run feeds the table's metrics/trace so a reference run never
+/// double-counts.
 fn timed_run(
     topo: &Topology,
     sends: &[(Time, usize, AppSend)],
@@ -93,7 +104,7 @@ fn timed_run(
     ctx: &ExpCtx,
     table: &mut Table,
     absorb: bool,
-) -> (u64, f64, String, nectar_sim::metrics::MetricsRegistry) {
+) -> TimedRun {
     let t0 = Instant::now();
     let mut world = ShardedWorld::new(topo.clone(), SystemConfig::default(), shards);
     // Both the measured run and the 1-shard reference get the same
@@ -108,13 +119,14 @@ fn timed_run(
         world.schedule_send(*at, *cab, send.clone());
     }
     let (events, _) = world.run_to_quiescence(Time::from_millis(100));
-    let wall = t0.elapsed().as_secs_f64();
+    let wall_s = t0.elapsed().as_secs_f64();
     let fingerprint = world.metrics().to_json();
     assert!(
         chaos.is_some() || world.transport_quiescent(),
         "{}: scale workload failed to drain — deadline too tight",
         table.id
     );
+    let profile = world.profile_analysis();
     if absorb {
         ctx.absorb_sharded(table, &mut world);
     } else if ctx.stream {
@@ -122,7 +134,7 @@ fn timed_run(
         // doctor's verdict is redundant — just detach it.
         world.finish_streaming();
     }
-    (events, wall, fingerprint, world.runtime_metrics())
+    TimedRun { events, wall_s, fingerprint, runtime: world.runtime_metrics(), profile }
 }
 
 /// Shared runner: main run at `ctx.shards`, plus (when parallel) the
@@ -136,8 +148,9 @@ fn run_scale(id: &'static str, title: &str, topo: Topology, ctx: &ExpCtx) -> Tab
     let sends = scaled_workload(&topo);
     let config = format!("{hubs} HUBs / {cabs} CABs / {} sends", sends.len());
 
+    let run = timed_run(&topo, &sends, shards, None, ctx, &mut table, true);
     let (events, wall, fingerprint, runtime) =
-        timed_run(&topo, &sends, shards, None, ctx, &mut table, true);
+        (run.events, run.wall_s, run.fingerprint, run.runtime);
     table.record_events(events);
     let eps = events as f64 / wall.max(1e-9);
     table.row(&[
@@ -159,8 +172,9 @@ fn run_scale(id: &'static str, title: &str, topo: Topology, ctx: &ExpCtx) -> Tab
              {exchanged} cross-shard events exchanged",
             wait_ns as f64 / 1e6
         ));
-        let (ref_events, ref_wall, ref_fingerprint, _) =
-            timed_run(&topo, &sends, 1, None, ctx, &mut table, false);
+        let reference = timed_run(&topo, &sends, 1, None, ctx, &mut table, false);
+        let (ref_events, ref_wall, ref_fingerprint) =
+            (reference.events, reference.wall_s, reference.fingerprint);
         table.record_events(ref_events);
         let ref_eps = ref_events as f64 / ref_wall.max(1e-9);
         table.row(&[
@@ -237,6 +251,11 @@ pub struct ScalingPoint {
     /// Whether this point's metrics registry is bit-identical to the
     /// 1-shard reference for the same topology and schedule.
     pub deterministic: bool,
+    /// Host-time bottleneck attribution for this point — per-shard
+    /// phase breakdown, parallel efficiency, Karp–Flatt estimate, and
+    /// the scaling doctor's ranked verdict. Present when the sweep ran
+    /// with profiling on.
+    pub profile: Option<nectar_sim::profile::ProfileAnalysis>,
 }
 
 /// Measures the speedup curve behind `report --scaling`: each e26
@@ -245,7 +264,10 @@ pub struct ScalingPoint {
 /// always included as the reference). Every multi-shard point is
 /// bit-compared against the 1-shard reference — the curve is only
 /// worth plotting if it measures the *same* computation at every x.
-pub fn scaling_sweep(shard_counts: &[usize]) -> Vec<ScalingPoint> {
+/// With `profile` set, every point also carries the scaling doctor's
+/// bottleneck attribution (the determinism diff proves profiling does
+/// not perturb the simulated results).
+pub fn scaling_sweep(shard_counts: &[usize], profile: bool) -> Vec<ScalingPoint> {
     let chaos = ChaosSchedule::new(0xC0FFEE)
         .with(Clause::new(Fault::Loss { rate: 0.02 }))
         .with(Clause::new(Fault::Duplicate { rate: 0.01 }));
@@ -253,7 +275,7 @@ pub fn scaling_sweep(shard_counts: &[usize]) -> Vec<ScalingPoint> {
         ("e26", "fat_star(8,8,16)", Topology::fat_star(8, 8, 16)),
         ("e26b", "mesh2d(4,4,4,16)", Topology::mesh2d(4, 4, 4, 16)),
     ];
-    let ctx = ExpCtx { shards: 1, ..ExpCtx::default() };
+    let ctx = ExpCtx { shards: 1, profile, ..ExpCtx::default() };
     let mut points = Vec::new();
     for (id, desc, topo) in topologies {
         let hubs = topo.hub_count();
@@ -267,26 +289,26 @@ pub fn scaling_sweep(shard_counts: &[usize]) -> Vec<ScalingPoint> {
             let mut reference: Option<String> = None;
             for &shards in &counts {
                 let mut scratch = Table::new(id, "scaling sweep", &[]);
-                let (events, wall_s, fingerprint, runtime) =
-                    timed_run(&topo, &sends, shards, schedule, &ctx, &mut scratch, false);
+                let run = timed_run(&topo, &sends, shards, schedule, &ctx, &mut scratch, false);
                 let deterministic = match &reference {
                     None => {
-                        reference = Some(fingerprint);
+                        reference = Some(run.fingerprint);
                         true
                     }
-                    Some(r) => *r == fingerprint,
+                    Some(r) => *r == run.fingerprint,
                 };
                 points.push(ScalingPoint {
                     experiment: id,
                     topology: desc,
                     shards,
                     chaos: use_chaos,
-                    events,
-                    wall_s,
-                    windows: runtime.counter("runner.windows"),
-                    barrier_wait_ns: runtime.counter("runner.barrier_wait_ns"),
-                    exchanged_events: runtime.counter("runner.exchanged_events"),
+                    events: run.events,
+                    wall_s: run.wall_s,
+                    windows: run.runtime.counter("runner.windows"),
+                    barrier_wait_ns: run.runtime.counter("runner.barrier_wait_ns"),
+                    exchanged_events: run.runtime.counter("runner.exchanged_events"),
                     deterministic,
+                    profile: run.profile,
                 });
             }
         }

@@ -36,6 +36,13 @@ pub struct Table {
     pub runtime: Option<nectar_sim::metrics::MetricsRegistry>,
     /// Streaming-doctor outcome, when the harness ran with `--stream`.
     pub stream: Option<StreamResult>,
+    /// Scaling-doctor analysis of the host-time profile, when the
+    /// harness ran with `--profile` and the experiment drove a sharded
+    /// world. Host-time only — never merged into `metrics`.
+    pub profile: Option<nectar_sim::profile::ProfileAnalysis>,
+    /// The raw host-time spans behind `profile`, kept so `--trace`
+    /// can render host tracks next to the simulated ones.
+    pub host_profile: Option<nectar_sim::profile::HostProfile>,
 }
 
 /// What the streaming doctor concluded about one experiment's worlds
@@ -90,6 +97,8 @@ impl Table {
             metrics: None,
             runtime: None,
             stream: None,
+            profile: None,
+            host_profile: None,
         }
     }
 

@@ -54,6 +54,7 @@ use crate::world::{join_flights, AppSend, Delivery, Ev, QuiescenceOutcome, Syste
 use nectar_sim::analysis::streaming::{StreamConfig, StreamingDoctor};
 use nectar_sim::chaos::{ChaosSchedule, ChaosStats};
 use nectar_sim::metrics::{Histogram, MetricsRegistry};
+use nectar_sim::profile::{self, AnalyzeCtx, HostProfile, Phase, ProfileAnalysis, Profiler};
 use nectar_sim::telemetry::TelemetryEvent;
 use nectar_sim::time::{Dur, Time};
 use std::collections::HashMap;
@@ -373,6 +374,11 @@ pub struct ShardedWorld {
     /// delegates to `worlds[0]`'s own drain-per-step streaming).
     stream: Option<Box<ShardStream>>,
     runtime: RuntimeStats,
+    /// Host-time span rings, one per shard worker plus one for the
+    /// main thread (telemetry drain / stream fold / rebalance).
+    /// Disabled by default: each scope edge in the worker loop is then
+    /// a single branch, preserving the profiler-off wall time.
+    profs: Vec<Profiler>,
 }
 
 /// The [`StreamingDoctor`] and its scratch buffers when streaming is
@@ -423,6 +429,7 @@ impl ShardedWorld {
                 exchanged_events: vec![0; n],
                 ..RuntimeStats::default()
             },
+            profs: (0..=n).map(|_| Profiler::disabled()).collect(),
         }
     }
 
@@ -463,6 +470,61 @@ impl ShardedWorld {
         for w in &mut self.worlds {
             w.enable_observability();
         }
+    }
+
+    /// Switches on the host-time profiler: every shard worker records
+    /// phase spans (step, outbox fill, exchange drain, barrier wait)
+    /// and the main thread records drain/fold/rebalance spans. Host
+    /// time never feeds the simulated metrics, so results stay
+    /// bit-identical with the profiler on or off.
+    pub fn enable_profiling(&mut self) {
+        for p in &mut self.profs {
+            p.set_enabled(true);
+        }
+    }
+
+    /// Whether host-time spans are being recorded.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profs[0].is_enabled()
+    }
+
+    /// The collected host-time profile (one track per shard worker,
+    /// one for the main thread), or `None` when profiling is off.
+    pub fn host_profile(&self) -> Option<HostProfile> {
+        if !self.profiling_enabled() {
+            return None;
+        }
+        Some(HostProfile {
+            shards: self.worlds.len(),
+            tracks: self.profs.iter().map(|p| p.spans().copied().collect()).collect(),
+            dropped: self.profs.iter().map(|p| p.dropped()).sum(),
+        })
+    }
+
+    /// Per-HUB simulated-time load attribution summed across shards
+    /// (only the owning shard contributes nonzero weight): the input
+    /// the scaling doctor uses to *name* the hot cluster behind a
+    /// load-imbalance verdict, and the same quantity adaptive
+    /// rebalancing partitions on.
+    pub fn cluster_weights(&self) -> Vec<u64> {
+        (0..self.topo.hub_count())
+            .map(|h| self.worlds.iter().map(|w| w.cluster_weight(h)).sum())
+            .collect()
+    }
+
+    /// Runs the scaling doctor over the collected profile: phase
+    /// breakdown per shard, straggler attribution, parallel
+    /// efficiency, Karp–Flatt serial fraction, and ranked verdicts.
+    /// `None` when profiling is off.
+    pub fn profile_analysis(&self) -> Option<ProfileAnalysis> {
+        let hp = self.host_profile()?;
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let ctx = AnalyzeCtx {
+            cores,
+            cluster_weights: self.cluster_weights(),
+            shard_of_hub: (0..self.topo.hub_count()).map(|h| self.plan.shard_of_hub(h)).collect(),
+        };
+        Some(profile::analyze(&hp, &ctx))
     }
 
     /// Installs the same chaos schedule in every shard. Clause RNG
@@ -563,6 +625,9 @@ impl ShardedWorld {
     /// window floor. With `finish` everything pending folds.
     fn stream_fold(&mut self, finish: bool) {
         let Some(mut st) = self.stream.take() else { return };
+        let main = self.worlds.len();
+        let window = self.runtime.windows;
+        let t0 = self.profs[main].begin();
         for w in &mut self.worlds {
             w.drain_telemetry_into(&mut st.pending);
         }
@@ -584,7 +649,10 @@ impl ShardedWorld {
                 }
             }
         }
+        self.profs[main].end(Phase::TelemetryDrain, window, t0);
+        let t0 = self.profs[main].begin();
         st.doctor.ingest(&mut st.batch);
+        self.profs[main].end(Phase::StreamFold, window, t0);
         self.stream = Some(st);
     }
 
@@ -593,7 +661,13 @@ impl ShardedWorld {
     /// [`World::run_to_quiescence`] including final clock position.
     pub fn run_to_quiescence(&mut self, deadline: Time) -> (u64, QuiescenceOutcome) {
         if self.worlds.len() == 1 {
-            return self.worlds[0].run_to_quiescence(deadline);
+            // No window protocol with one shard: the whole run is one
+            // step span, so 1-shard profiles still carry the wall time
+            // the speedup curve's reference point needs.
+            let t0 = self.profs[0].begin();
+            let out = self.worlds[0].run_to_quiescence(deadline);
+            self.profs[0].end(Phase::Step, 0, t0);
+            return out;
         }
         let (n, outcome) = self.drive(deadline);
         let settle = match outcome {
@@ -612,7 +686,10 @@ impl ShardedWorld {
     /// clock to `deadline`; mirrors [`World::run_until`].
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         if self.worlds.len() == 1 {
-            return self.worlds[0].run_until(deadline);
+            let t0 = self.profs[0].begin();
+            let out = self.worlds[0].run_until(deadline);
+            self.profs[0].end(Phase::Step, 0, t0);
+            return out;
         }
         let (n, _) = self.drive(deadline);
         for w in &mut self.worlds {
@@ -670,13 +747,17 @@ impl ShardedWorld {
         let mut total_events = 0u64;
         loop {
             let budget = self.epoch_budget();
+            // Global index of this epoch's first window, so spans from
+            // successive epochs number windows continuously.
+            let base = self.runtime.windows;
             let mut results: Vec<EpochResult> = Vec::with_capacity(n);
             std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .worlds
                     .iter_mut()
+                    .zip(self.profs.iter_mut())
                     .enumerate()
-                    .map(|(i, world)| {
+                    .map(|(i, (world, prof))| {
                         s.spawn(move || {
                             let mut res = EpochResult {
                                 events: 0,
@@ -686,9 +767,17 @@ impl ShardedWorld {
                                 exit: EpochExit::Budget,
                             };
                             loop {
+                                let win = base + res.windows;
                                 let peek = world.next_event_time().map_or(u64::MAX, |t| t.nanos());
                                 peeks[i].store(peek, Ordering::SeqCst);
-                                res.wait_ns += barrier.wait();
+                                // Barrier spans take the barrier's own
+                                // measured wait, so profile barrier
+                                // time and `runner.barrier_wait_ns`
+                                // agree exactly.
+                                let t0 = prof.begin();
+                                let waited = barrier.wait();
+                                prof.end_with(Phase::BarrierWait, win, t0, waited);
+                                res.wait_ns += waited;
                                 // Every worker reads the same snapshot
                                 // (no store happens until after the
                                 // *next* barrier), so every worker
@@ -704,12 +793,15 @@ impl ShardedWorld {
                                     return res;
                                 }
                                 let end = Time::from_nanos(t.saturating_add(lookahead).min(cap));
+                                let t0 = prof.begin();
                                 res.events += world.run_window(end);
+                                prof.end(Phase::Step, win, t0);
                                 // Producer phase: swap every non-empty
                                 // outbox into this shard's row of the
                                 // grid. The swapped-in buffer is the
                                 // (empty, warm) one the consumer left
                                 // behind last round.
+                                let t0 = prof.begin();
                                 for dst in 0..n {
                                     if dst != i && world.outbox_filled(dst) {
                                         let cell = grid.cell(i, dst);
@@ -721,10 +813,15 @@ impl ShardedWorld {
                                         cell.filled.store(true, Ordering::Release);
                                     }
                                 }
-                                res.wait_ns += barrier.wait();
+                                prof.end(Phase::OutboxFill, win, t0);
+                                let t0 = prof.begin();
+                                let waited = barrier.wait();
+                                prof.end_with(Phase::BarrierWait, win, t0, waited);
+                                res.wait_ns += waited;
                                 // Consumer phase: drain this shard's
                                 // column, capacities staying in the
                                 // cells for the next producer swap.
+                                let t0 = prof.begin();
                                 for src in 0..n {
                                     if src != i
                                         && grid.cell(src, i).filled.swap(false, Ordering::Acquire)
@@ -737,6 +834,7 @@ impl ShardedWorld {
                                         world.ingest_drain(&mut batch);
                                     }
                                 }
+                                prof.end(Phase::ExchangeDrain, win, t0);
                                 res.windows += 1;
                                 if res.windows >= budget {
                                     return res;
@@ -771,7 +869,11 @@ impl ShardedWorld {
                 EpochExit::Budget => {
                     // Drain before any migration so rings travel empty.
                     self.stream_fold(false);
+                    let main = self.worlds.len();
+                    let window = self.runtime.windows;
+                    let t0 = self.profs[main].begin();
                     self.rebalance();
+                    self.profs[main].end(Phase::Rebalance, window, t0);
                 }
             }
         }
@@ -1067,4 +1169,119 @@ pub fn canonical_telemetry_sort(events: &mut [TelemetryEvent]) {
 /// Sorts deliveries into the canonical comparison order.
 pub fn canonical_delivery_sort(deliveries: &mut [Delivery]) {
     deliveries.sort_by_key(|d| (d.at, d.cab, d.mailbox, d.msg_id, d.len));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The delay the forced straggler adds before each crossing.
+    /// Generous so scheduler noise on a loaded CI host cannot flip the
+    /// comparisons below.
+    const STRAGGLE: Duration = Duration::from_millis(5);
+    const CROSSINGS: usize = 4;
+
+    #[test]
+    fn last_arriver_waits_zero_and_waiters_measure_the_gap() {
+        let barrier = BackoffBarrier::new(2);
+        let b = &barrier;
+        std::thread::scope(|s| {
+            let prompt = s.spawn(move || b.wait());
+            let straggler = s.spawn(move || {
+                std::thread::sleep(STRAGGLE);
+                b.wait()
+            });
+            let prompt_wait = prompt.join().unwrap();
+            let straggler_wait = straggler.join().unwrap();
+            assert_eq!(straggler_wait, 0, "the last arriver never waits");
+            assert!(
+                prompt_wait >= STRAGGLE.as_nanos() as u64 / 2,
+                "the prompt thread waited out the straggler's delay, got {prompt_wait} ns"
+            );
+        });
+    }
+
+    #[test]
+    fn per_crossing_waits_are_monotone_and_attributed_to_prompt_shards() {
+        let barrier = BackoffBarrier::new(3);
+        let b = &barrier;
+        let run = |straggle: bool| {
+            move || {
+                let mut cumulative = Vec::with_capacity(CROSSINGS);
+                let mut total = 0u64;
+                for _ in 0..CROSSINGS {
+                    if straggle {
+                        std::thread::sleep(STRAGGLE);
+                    }
+                    total += b.wait();
+                    cumulative.push(total);
+                }
+                cumulative
+            }
+        };
+        let (prompt_a, prompt_b, straggler) = std::thread::scope(|s| {
+            let a = s.spawn(run(false));
+            let bb = s.spawn(run(false));
+            let c = s.spawn(run(true));
+            (a.join().unwrap(), bb.join().unwrap(), c.join().unwrap())
+        });
+        for cum in [&prompt_a, &prompt_b, &straggler] {
+            assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative wait is monotone: {cum:?}");
+        }
+        // Every crossing is bounded by the straggler, so both prompt
+        // shards accumulate roughly CROSSINGS × STRAGGLE of wait while
+        // the straggler itself arrives last and waits almost nothing.
+        let floor = (CROSSINGS as u64) * STRAGGLE.as_nanos() as u64 / 4;
+        let strag_total = *straggler.last().unwrap();
+        for (name, prompt) in [("a", &prompt_a), ("b", &prompt_b)] {
+            let total = *prompt.last().unwrap();
+            assert!(total >= floor, "prompt {name} absorbed the straggler's delay: {total} ns");
+            assert!(
+                total > strag_total,
+                "wait attributed to prompt shard {name} ({total} ns), \
+                 not the straggler ({strag_total} ns)"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_metrics_sum_matches_per_shard_counters() {
+        let topo = Topology::fat_star(4, 2, 16);
+        let mut world = ShardedWorld::new(topo, SystemConfig::default(), 4);
+        world.enable_profiling();
+        for cab in 0..4 {
+            let payload: std::sync::Arc<[u8]> = vec![7u8; 600].into();
+            let send = AppSend::Stream {
+                dst: (cab + 4) % 8,
+                src_mailbox: 1,
+                dst_mailbox: 9,
+                data: payload,
+            };
+            world.schedule_send(Time::from_micros(5), cab, send);
+        }
+        world.run_to_quiescence(Time::from_millis(50));
+        let reg = world.runtime_metrics();
+        let shards = world.shards();
+        let wait_sum: u64 =
+            (0..shards).map(|i| reg.counter(&format!("runner.shard{i}.barrier_wait_ns"))).sum();
+        let exch_sum: u64 =
+            (0..shards).map(|i| reg.counter(&format!("runner.shard{i}.exchanged_events"))).sum();
+        assert_eq!(reg.counter("runner.barrier_wait_ns"), wait_sum);
+        assert_eq!(reg.counter("runner.exchanged_events"), exch_sum);
+        assert!(reg.counter("runner.windows") > 0);
+        // The profiler records barrier spans with the barrier's own
+        // measured waits, so (with no ring overflow) the profile's
+        // barrier total equals the runtime counter exactly.
+        let profile = world.host_profile().expect("profiling enabled");
+        assert_eq!(profile.dropped, 0);
+        let span_wait: u64 = profile
+            .worker_tracks()
+            .iter()
+            .flatten()
+            .filter(|s| s.phase == Phase::BarrierWait)
+            .map(|s| s.dur_ns)
+            .sum();
+        assert_eq!(span_wait, wait_sum, "profile barrier spans agree with runtime counters");
+    }
 }

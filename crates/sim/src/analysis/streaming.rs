@@ -128,6 +128,11 @@ struct SlotResidue {
 pub struct DoctorCheckpoint {
     /// Watermark (latest folded event time) at emission.
     pub at: Time,
+    /// Host time at emission ([`crate::profile::host_now_ns`]): pairs
+    /// the simulated watermark with a wall-clock position, so a live
+    /// consumer (or the host-time profiler) can measure fold progress
+    /// per host second. Never part of bit-compared state.
+    pub host_ns: u64,
     /// Events folded so far.
     pub events_folded: u64,
     /// Distinct flights seen so far.
@@ -400,6 +405,7 @@ impl StreamingDoctor {
         self.next_checkpoint_at = self.events_folded + self.cfg.checkpoint_every;
         let cp = DoctorCheckpoint {
             at: self.watermark,
+            host_ns: crate::profile::host_now_ns(),
             events_folded: self.events_folded,
             flights_seen: self.flights_seen,
             flights_retired: self.flights_retired,

@@ -15,10 +15,25 @@
 //!
 //! Timestamps (`ts`) are microseconds with fractional nanoseconds, per
 //! the format; `displayTimeUnit` is `"ns"`.
+//!
+//! [`chrome_trace_with_host`] additionally renders a host-time
+//! [`HostProfile`](crate::profile::HostProfile) into the same document
+//! under its own process ([`HOST_PID`]): one track per shard worker
+//! plus one for the runner's main thread, phase slices named after
+//! [`Phase::label`](crate::profile::Phase::label), and per-window
+//! instant markers on a dedicated track. Simulated-time and host-time
+//! tracks share one file but not one timebase — the simulated tracks
+//! are nanoseconds of modeled hardware, the host tracks nanoseconds of
+//! wall clock (both normalized to start near zero).
 
 use crate::json::json_escape;
+use crate::profile::HostProfile;
 use crate::telemetry::{EventKind, TelemetryEvent};
 use std::collections::BTreeMap;
+
+/// `pid` under which all host-time profiler tracks render — far above
+/// any HUB (1..) or CAB (1000..) pid.
+pub const HOST_PID: u32 = 5000;
 
 /// Nominal duration (µs) given to point events so flow arrows have a
 /// slice to bind to.
@@ -131,6 +146,14 @@ fn push_event(out: &mut Vec<String>, body: String) {
 /// channel, FIFO) merge into one duration slice; everything else
 /// becomes a short slice so Perfetto draws flow arrows through it.
 pub fn chrome_trace(events: &[TelemetryEvent]) -> String {
+    chrome_trace_with_host(events, None)
+}
+
+/// [`chrome_trace`] plus host-time profiler tracks: phase slices for
+/// every span in `host` (one thread per shard worker, one for the
+/// runner main thread) and instant window markers, all under
+/// [`HOST_PID`]. With `host` `None` this is exactly [`chrome_trace`].
+pub fn chrome_trace_with_host(events: &[TelemetryEvent], host: Option<&HostProfile>) -> String {
     let mut sorted: Vec<&TelemetryEvent> = events.iter().collect();
     sorted.sort_by_key(|e| e.at);
 
@@ -258,10 +281,85 @@ pub fn chrome_trace(events: &[TelemetryEvent]) -> String {
         );
     }
 
+    if let Some(profile) = host {
+        host_lines(profile, &mut lines);
+    }
+
     let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
     out.push_str(&lines.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// Renders a [`HostProfile`] as trace-event lines under [`HOST_PID`]:
+/// one `"X"` slice per recorded phase span (tid = shard index, the
+/// main thread at tid = shard count), one `"i"` instant marker per
+/// window on a dedicated marker track, and `"M"` metadata naming every
+/// track. Timestamps are normalized so the earliest span starts at 0.
+fn host_lines(profile: &HostProfile, lines: &mut Vec<String>) {
+    let mut lo = u64::MAX;
+    for track in &profile.tracks {
+        for s in track {
+            lo = lo.min(s.start_ns);
+        }
+    }
+    if lo == u64::MAX {
+        return;
+    }
+    // window -> earliest span start, for the marker track.
+    let mut windows: BTreeMap<u64, u64> = BTreeMap::new();
+    for (tid, track) in profile.tracks.iter().enumerate() {
+        for s in track {
+            let ts = (s.start_ns - lo) as f64 / 1000.0;
+            let dur = (s.dur_ns as f64 / 1000.0).max(0.001);
+            push_event(
+                lines,
+                format!(
+                    "\"name\": \"{}\", \"cat\": \"host\", \"ph\": \"X\", \"ts\": {ts:.3}, \
+                     \"dur\": {dur:.3}, \"pid\": {HOST_PID}, \"tid\": {tid}, \
+                     \"args\": {{\"window\": {}}}",
+                    s.phase.label(),
+                    s.window
+                ),
+            );
+            windows.entry(s.window).and_modify(|e| *e = (*e).min(s.start_ns)).or_insert(s.start_ns);
+        }
+    }
+    let marker_tid = profile.tracks.len();
+    for (w, start) in &windows {
+        let ts = (start - lo) as f64 / 1000.0;
+        push_event(
+            lines,
+            format!(
+                "\"name\": \"window {w}\", \"cat\": \"host\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {ts:.3}, \"pid\": {HOST_PID}, \"tid\": {marker_tid}, \
+                 \"args\": {{\"window\": {w}}}"
+            ),
+        );
+    }
+    push_event(
+        lines,
+        format!(
+            "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {HOST_PID}, \"tid\": 0, \
+             \"args\": {{\"name\": \"host: sharded runner\"}}"
+        ),
+    );
+    for tid in 0..profile.tracks.len() + 1 {
+        let name = if tid < profile.shards {
+            format!("shard {tid} worker")
+        } else if tid == profile.shards && tid < profile.tracks.len() {
+            "runner main".to_string()
+        } else {
+            "window markers".to_string()
+        };
+        push_event(
+            lines,
+            format!(
+                "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {HOST_PID}, \
+                 \"tid\": {tid}, \"args\": {{\"name\": \"{name}\"}}"
+            ),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -350,5 +448,51 @@ mod tests {
         let doc = chrome_trace(&[]);
         let v = parse(&doc).unwrap();
         assert!(v.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn host_profile_composes_with_simulated_tracks() {
+        use crate::profile::{Phase, PhaseSpan};
+        let mk = |phase, window, start_ns, dur_ns| PhaseSpan { phase, window, start_ns, dur_ns };
+        let profile = crate::profile::HostProfile {
+            shards: 2,
+            tracks: vec![
+                vec![
+                    mk(Phase::Step, 0, 1000, 900),
+                    mk(Phase::BarrierWait, 0, 1900, 100),
+                    mk(Phase::Step, 1, 2000, 800),
+                ],
+                vec![mk(Phase::Step, 0, 1000, 500), mk(Phase::Step, 1, 2000, 950)],
+                vec![mk(Phase::StreamFold, 1, 3000, 400)],
+            ],
+            dropped: 0,
+        };
+        let doc = chrome_trace_with_host(&sample_events(), Some(&profile));
+        let v = parse(&doc).expect("composed trace must stay valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // Host phase slices land under HOST_PID with normalized ts.
+        let host_slices: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("pid").unwrap().as_f64() == Some(HOST_PID as f64)
+                    && e.get("ph").unwrap().as_str() == Some("X")
+            })
+            .collect();
+        assert_eq!(host_slices.len(), 6);
+        let first_ts = host_slices
+            .iter()
+            .filter_map(|e| e.get("ts").unwrap().as_f64())
+            .fold(f64::MAX, f64::min);
+        assert_eq!(first_ts, 0.0, "host timeline is normalized to start at 0");
+        assert!(host_slices.iter().any(|e| e.get("name").unwrap().as_str() == Some("step")));
+        assert!(host_slices.iter().any(|e| e.get("name").unwrap().as_str() == Some("stream_fold")));
+        // One window marker per distinct window.
+        let markers = events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("i")).count();
+        assert_eq!(markers, 2);
+        // Track names present for workers, main thread, and markers.
+        assert!(doc.contains("shard 0 worker") && doc.contains("shard 1 worker"));
+        assert!(doc.contains("runner main") && doc.contains("window markers"));
+        // Simulated tracks are untouched by the composition.
+        assert!(doc.contains("HUB 0") && doc.contains("CAB 1"));
     }
 }

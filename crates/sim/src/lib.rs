@@ -15,6 +15,8 @@
 //! * [`metrics`] — the unified counter/gauge/histogram registry.
 //! * [`export`] — Chrome trace-event (Perfetto) JSON rendering.
 //! * [`json`] — string escaping and a small parser for export checks.
+//! * [`profile`] — host-time profiler + scaling doctor for the
+//!   parallel runner (phase spans, straggler attribution, verdicts).
 //! * [`analysis`] — `nectar-doctor`: critical-path attribution,
 //!   pathology detection, and the perf-regression gate.
 //! * [`chaos`] — seeded, replayable fault schedules (loss, bursts,
@@ -44,6 +46,7 @@ pub mod engine;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
