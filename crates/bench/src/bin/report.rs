@@ -83,9 +83,37 @@ fn usage() -> ! {
          [--scaling] [--profile] [--json PATH] [--metrics] [--doctor] \
          [--stream] [--telemetry-cap N] [--stream-budget BYTES] \
          [--compare BASELINE] [--trace EXP] [--trace-out PATH] \
-         [--chaos-seed N] [--chaos-spec PROG] [ids... | all]"
+         [--chaos-seed N] [--chaos-spec PROG] [--workload SPEC|PRESET] \
+         [ids... | all]"
     );
     std::process::exit(2);
+}
+
+/// Exits non-zero with a message naming the offending flag/token —
+/// a malformed invocation must never be silently reinterpreted.
+fn bad_invocation(msg: &str) -> ! {
+    eprintln!("report: {msg}");
+    std::process::exit(2);
+}
+
+/// The value following `flag`, or a non-zero exit naming the flag.
+fn flag_value(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| bad_invocation(&format!("{flag} requires a value")))
+}
+
+/// Parses `flag`'s value, or exits non-zero naming the bad token.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| bad_invocation(&format!("invalid value `{value}` for {flag}")))
+}
+
+/// Parses `flag`'s value and rejects zero — these are counts where
+/// zero means "run nothing", which is never what the caller wanted.
+fn parse_positive(flag: &str, value: &str) -> usize {
+    let n: usize = parse_flag(flag, value);
+    if n == 0 {
+        bad_invocation(&format!("{flag} must be at least 1, got `{value}`"));
+    }
+    n
 }
 
 fn main() {
@@ -106,63 +134,61 @@ fn main() {
     let mut trace_id: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
-    let mut chaos_spec: Option<&'static str> = None;
+    let mut chaos_spec: Option<String> = None;
+    let mut workload: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--chaos-seed" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                chaos_seed = Some(v.parse().unwrap_or_else(|_| usage()));
+                let v = flag_value("--chaos-seed", &mut args);
+                chaos_seed = Some(parse_flag("--chaos-seed", &v));
             }
             "--chaos-spec" => {
-                // The ctx is Copy and crosses worker threads; the one
-                // spec string for this process can just leak.
-                chaos_spec =
-                    Some(Box::leak(args.next().unwrap_or_else(|| usage()).into_boxed_str()));
+                let v = flag_value("--chaos-spec", &mut args);
+                // Validate the grammar now (the seed does not affect
+                // parsing) so a typo fails before any experiment runs.
+                if let Err(e) = nectar_sim::chaos::ChaosSchedule::parse(0, &v) {
+                    bad_invocation(&format!("--chaos-spec `{v}`: {e}"));
+                }
+                chaos_spec = Some(v);
+            }
+            "--workload" => {
+                let v = flag_value("--workload", &mut args);
+                if nectar_sim::workload::preset(&v).is_none() {
+                    if let Err(e) = nectar_sim::workload::WorkloadSpec::parse(0, &v) {
+                        bad_invocation(&format!(
+                            "--workload `{v}` is neither a registered preset nor a \
+                             parsable spec: {e}"
+                        ));
+                    }
+                }
+                workload = Some(v);
             }
             "--list" | "list" => list = true,
-            "--jobs" | "-j" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                jobs = v.parse().unwrap_or_else(|_| usage());
-                if jobs == 0 {
-                    usage();
-                }
-            }
-            "--shards" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                shards = v.parse().unwrap_or_else(|_| usage());
-                if shards == 0 {
-                    usage();
-                }
-            }
-            "--repeat" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                repeat = v.parse().unwrap_or_else(|_| usage());
-                if repeat == 0 {
-                    usage();
-                }
-            }
+            "--jobs" | "-j" => jobs = parse_positive("--jobs", &flag_value("--jobs", &mut args)),
+            "--shards" => shards = parse_positive("--shards", &flag_value("--shards", &mut args)),
+            "--repeat" => repeat = parse_positive("--repeat", &flag_value("--repeat", &mut args)),
             "--scaling" => scaling = true,
             "--profile" => profile = true,
-            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            "--json" => json_path = flag_value("--json", &mut args),
             "--metrics" => metrics = true,
             "--doctor" => doctor = true,
             "--stream" => stream = true,
             "--telemetry-cap" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                telemetry_cap = Some(v.parse().unwrap_or_else(|_| usage()));
-                if telemetry_cap == Some(0) {
-                    usage();
-                }
+                let v = flag_value("--telemetry-cap", &mut args);
+                telemetry_cap = Some(parse_positive("--telemetry-cap", &v));
             }
             "--stream-budget" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                stream_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+                let v = flag_value("--stream-budget", &mut args);
+                stream_budget = Some(parse_flag("--stream-budget", &v));
             }
-            "--compare" => compare_path = Some(args.next().unwrap_or_else(|| usage())),
-            "--trace" => trace_id = Some(args.next().unwrap_or_else(|| usage()).to_lowercase()),
-            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
-            other if other.starts_with('-') => usage(),
+            "--compare" => compare_path = Some(flag_value("--compare", &mut args)),
+            "--trace" => trace_id = Some(flag_value("--trace", &mut args).to_lowercase()),
+            "--trace-out" => trace_out = Some(flag_value("--trace-out", &mut args)),
+            other if other.starts_with('-') => {
+                eprintln!("report: unknown flag `{other}`");
+                usage()
+            }
             other => ids.push(other.to_lowercase()),
         }
     }
@@ -181,13 +207,18 @@ fn main() {
     let selected: Vec<_> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         reg
     } else {
-        let picked: Vec<_> =
-            reg.into_iter().filter(|(id, _, _)| ids.contains(&id.to_string())).collect();
-        if picked.is_empty() {
-            eprintln!("no experiment matches {ids:?}; try --list");
+        // Every named id must exist: a typo that silently shrinks the
+        // selection would report success over the wrong experiments.
+        let unknown: Vec<&String> =
+            ids.iter().filter(|a| !reg.iter().any(|(id, _, _)| *id == a.as_str())).collect();
+        if !unknown.is_empty() {
+            for a in &unknown {
+                eprintln!("report: unknown experiment id `{a}`");
+            }
+            eprintln!("try --list for the registry");
             std::process::exit(1);
         }
-        picked
+        reg.into_iter().filter(|(id, _, _)| ids.contains(&id.to_string())).collect()
     };
     println!("Nectar reproduction — experiment report");
     println!("(shape reproduction: simulator seeded with the paper's constants)\n");
@@ -203,13 +234,14 @@ fn main() {
         trace: false,
         chaos_seed,
         chaos_spec,
+        workload,
         shards,
         stream,
         telemetry_cap,
         stream_budget,
         profile,
     };
-    let results = run_experiments(&selected, jobs, repeat, base_ctx, doctor, trace_id.as_deref());
+    let results = run_experiments(&selected, jobs, repeat, &base_ctx, doctor, trace_id.as_deref());
     {
         // One write per run: the tables were rendered in the workers,
         // so the flush never interleaves with anything.
@@ -409,13 +441,13 @@ fn run_experiments(
     selected: &[Experiment],
     jobs: usize,
     repeat: usize,
-    base_ctx: ExpCtx,
+    base_ctx: &ExpCtx,
     doctor: bool,
     trace_id: Option<&str>,
 ) -> Vec<Outcome> {
     let ctx_for = |id: &str| ExpCtx {
         trace: trace_id == Some(id) || (doctor && TRACEABLE.contains(&id)),
-        ..base_ctx
+        ..base_ctx.clone()
     };
     let execute = |id: &'static str, run: fn(&ExpCtx) -> Table| {
         let mut walls = Vec::with_capacity(repeat);
@@ -642,11 +674,29 @@ fn render_json(
         let stream = match &r.table.stream {
             Some(s) => {
                 let sm = &s.summary;
+                // The typed doctor verdicts ride inside the stream
+                // object: one entry per finding, so CI can gate on
+                // detector/severity without parsing rendered text.
+                let verdicts: Vec<String> = s
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"detector\": \"{}\", \"severity\": \"{}\", \
+                             \"subject\": \"{}\", \"confident\": {}}}",
+                            json_escape(f.detector),
+                            f.severity,
+                            json_escape(&f.subject),
+                            f.confident,
+                        )
+                    })
+                    .collect();
                 format!(
                     ", \"stream\": {{\"events_folded\": {}, \"flights_seen\": {}, \
                      \"flights_retired\": {}, \"open_flights\": {}, \"late_events\": {}, \
                      \"forced_retirements\": {}, \"checkpoints\": {}, \"peak_mem_bytes\": {}, \
-                     \"ring_hwm\": {}, \"ring_dropped\": {}, \"flights\": {}, \"confident\": {}}}",
+                     \"ring_hwm\": {}, \"ring_dropped\": {}, \"flights\": {}, \"confident\": {}, \
+                     \"verdicts\": [{}]}}",
                     sm.events_folded,
                     sm.flights_seen,
                     sm.flights_retired,
@@ -659,6 +709,7 @@ fn render_json(
                     sm.ring_dropped,
                     s.flights,
                     s.confident,
+                    verdicts.join(", "),
                 )
             }
             None => String::new(),

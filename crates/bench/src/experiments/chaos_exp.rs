@@ -19,7 +19,7 @@ use nectar_sim::time::Dur;
 /// override if present, else `random(seed, cabs)` over `seeds`.
 fn schedules(ctx: &ExpCtx, seeds: &[u64], cabs: u16) -> Vec<ChaosSchedule> {
     if let Some(seed) = ctx.chaos_seed {
-        let sched = match ctx.chaos_spec {
+        let sched = match ctx.chaos_spec.as_deref() {
             Some(spec) => {
                 ChaosSchedule::parse(seed, spec).unwrap_or_else(|e| panic!("--chaos-spec: {e}"))
             }

@@ -10,6 +10,7 @@ pub mod latency;
 pub mod scale;
 pub mod throughput;
 pub mod transport_exp;
+pub mod workload_exp;
 
 use crate::table::Table;
 use nectar_core::shard::ShardedWorld;
@@ -18,7 +19,7 @@ use nectar_sim::metrics::MetricsRegistry;
 
 /// What the harness wants an experiment to collect beyond its table.
 /// Passed to every runner; [`ExpCtx::off`] is the plain-report default.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ExpCtx {
     /// Harvest a [`nectar_sim::metrics::MetricsRegistry`] from every
     /// world the experiment drives.
@@ -32,7 +33,13 @@ pub struct ExpCtx {
     /// the [`nectar_sim::chaos`] clause grammar). Used with
     /// [`chaos_seed`](ExpCtx::chaos_seed); wins over the generated
     /// schedule.
-    pub chaos_spec: Option<&'static str>,
+    pub chaos_spec: Option<String>,
+    /// Override the traffic scenario for the workload experiments (the
+    /// `e27` family; `report --workload SPEC|PRESET`): either a
+    /// registered preset name or an inline
+    /// [`nectar_sim::workload`] spec. Validated by the CLI before any
+    /// experiment runs.
+    pub workload: Option<String>,
     /// Shard count for the conservative-parallel experiments (the
     /// `e26` scale family; `report --shards N`). `0` and `1` both mean
     /// sequential execution; counts above a topology's HUB count are
@@ -199,8 +206,9 @@ pub type Experiment = (&'static str, &'static str, fn(&ExpCtx) -> Table);
 /// exporter validation in CI loop over exactly this list; an experiment
 /// that starts absorbing telemetry should be added here so its trace
 /// gets validated too (a registry test enforces the list stays honest).
-pub const TRACEABLE: &[&str] =
-    &["e03", "e05", "e06", "e07", "e12", "e14", "e25", "e25b", "e25c", "e26", "e26b"];
+pub const TRACEABLE: &[&str] = &[
+    "e03", "e05", "e06", "e07", "e12", "e14", "e25", "e25b", "e25c", "e26", "e26b", "e27", "e27c",
+];
 
 /// All experiments in DESIGN.md order.
 pub fn registry() -> Vec<Experiment> {
@@ -238,6 +246,9 @@ pub fn registry() -> Vec<Experiment> {
         ("e25c", "chaos: mesh", chaos_exp::e25c_mesh_chaos),
         ("e26", "scale: sharded fat-star", scale::e26_fat_star),
         ("e26b", "scale: sharded 4x4 mesh", scale::e26b_mesh),
+        ("e27", "workload: lattice collective", workload_exp::e27_lattice),
+        ("e27b", "workload: spike stream", workload_exp::e27b_spike),
+        ("e27c", "workload: RPC fan-out", workload_exp::e27c_rpc_fanout),
         ("abl", "design ablations", apps_exp::ablations),
     ]
 }

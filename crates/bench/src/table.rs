@@ -55,6 +55,11 @@ pub struct StreamResult {
     pub flights: u64,
     /// `false` if any world's capture was truncated.
     pub confident: bool,
+    /// Every pathology finding from the final reports, in report
+    /// order — the typed verdicts behind `rendered`, kept so the
+    /// harness can gate on detector and severity instead of grepping
+    /// rendered text.
+    pub findings: Vec<nectar_sim::analysis::pathology::Finding>,
     /// The rendered doctor reports, one block per streamed world.
     pub rendered: String,
 }
@@ -79,6 +84,7 @@ impl StreamResult {
         s.ring_dropped += summary.ring_dropped;
         self.flights += report.flights;
         self.confident &= report.confident;
+        self.findings.extend(report.findings.iter().cloned());
         self.rendered.push_str(&report.render());
     }
 }
@@ -112,6 +118,7 @@ impl Table {
             summary: Default::default(),
             flights: 0,
             confident: true,
+            findings: Vec::new(),
             rendered: String::new(),
         });
         slot.merge(summary, report);

@@ -57,6 +57,7 @@ use nectar_sim::metrics::{Histogram, MetricsRegistry};
 use nectar_sim::profile::{self, AnalyzeCtx, HostProfile, Phase, ProfileAnalysis, Profiler};
 use nectar_sim::telemetry::TelemetryEvent;
 use nectar_sim::time::{Dur, Time};
+use nectar_sim::workload::WorkloadSpec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -538,6 +539,23 @@ impl ShardedWorld {
         }
     }
 
+    /// Installs the same workload program in every shard. Each shard
+    /// seeds initial events only for the CABs it owns, and generator
+    /// RNG streams are per-(class, CAB) — each CAB's draws happen in
+    /// exactly one shard — so the shards collectively offer the same
+    /// traffic, in the same `(time, key)` order, as a sequential run.
+    pub fn set_workload(&mut self, spec: &WorkloadSpec) -> Result<(), String> {
+        for w in &mut self.worlds {
+            w.set_workload(spec)?;
+        }
+        Ok(())
+    }
+
+    /// The attached workload spec, if any (for replay lines).
+    pub fn workload_spec(&self) -> Option<&WorkloadSpec> {
+        self.worlds[0].workload_spec()
+    }
+
     /// Schedules an application send on the shard owning `cab`.
     pub fn schedule_send(&mut self, at: Time, cab: usize, send: AppSend) {
         let s = self.shard_of_cab(cab);
@@ -559,6 +577,9 @@ impl ShardedWorld {
             return;
         }
         self.enable_observability();
+        for w in &mut self.worlds {
+            w.enable_telemetry_spill();
+        }
         let min_cap =
             self.worlds.iter().map(|w| w.min_telemetry_capacity()).min().unwrap_or(usize::MAX);
         self.stream = Some(Box::new(ShardStream {
@@ -629,7 +650,7 @@ impl ShardedWorld {
         let window = self.runtime.windows;
         let t0 = self.profs[main].begin();
         for w in &mut self.worlds {
-            w.drain_telemetry_into(&mut st.pending);
+            w.take_spill(&mut st.pending);
         }
         let boundary = if finish {
             None
@@ -745,8 +766,13 @@ impl ShardedWorld {
         let barrier = BackoffBarrier::new(n);
         let (peeks, grid, barrier) = (&peeks, &grid, &barrier);
         let mut total_events = 0u64;
+        let streaming = self.stream.is_some();
         loop {
             let budget = self.epoch_budget();
+            // Worker-side spill buffers: each worker drains its own
+            // shard's telemetry rings here every window, so ring
+            // pressure never depends on the epoch fold cadence.
+            let mut spills: Vec<Vec<TelemetryEvent>> = (0..n).map(|_| Vec::new()).collect();
             // Global index of this epoch's first window, so spans from
             // successive epochs number windows continuously.
             let base = self.runtime.windows;
@@ -756,8 +782,9 @@ impl ShardedWorld {
                     .worlds
                     .iter_mut()
                     .zip(self.profs.iter_mut())
+                    .zip(spills.iter_mut())
                     .enumerate()
-                    .map(|(i, (world, prof))| {
+                    .map(|(i, ((world, prof), spill))| {
                         s.spawn(move || {
                             let mut res = EpochResult {
                                 events: 0,
@@ -796,6 +823,18 @@ impl ShardedWorld {
                                 let t0 = prof.begin();
                                 res.events += world.run_window(end);
                                 prof.end(Phase::Step, win, t0);
+                                if streaming {
+                                    // Collect the in-window spill (see
+                                    // `World::spill_tick`) plus ring
+                                    // residue from the worker, so ring
+                                    // pressure never depends on the
+                                    // epoch fold cadence. Folding still
+                                    // happens only at epoch boundaries,
+                                    // below the finality watermark.
+                                    let t0 = prof.begin();
+                                    world.take_spill(spill);
+                                    prof.end(Phase::TelemetryDrain, win, t0);
+                                }
                                 // Producer phase: swap every non-empty
                                 // outbox into this shard's row of the
                                 // grid. The swapped-in buffer is the
@@ -846,6 +885,11 @@ impl ShardedWorld {
                 results =
                     handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
             });
+            if let Some(st) = &mut self.stream {
+                for spill in &mut spills {
+                    st.pending.append(spill);
+                }
+            }
             total_events += results.iter().map(|r| r.events).sum::<u64>();
             self.runtime.windows += results[0].windows;
             for (i, r) in results.iter().enumerate() {

@@ -22,7 +22,7 @@ use nectar_hub::pool::{BufPool, PoolStats};
 use nectar_kernel::mailbox::Mailbox;
 use nectar_kernel::thread::{Scheduler, ThreadId};
 use nectar_proto::datalink::Route;
-use nectar_proto::header::Header;
+use nectar_proto::header::{Header, MAX_FRAGMENT_PAYLOAD};
 use nectar_proto::transport::bytestream::{ByteStream, ByteStreamConfig};
 use nectar_proto::transport::datagram::Datagram;
 use nectar_proto::transport::reqresp::{ReqRespClient, ReqRespConfig, ReqRespServer};
@@ -33,6 +33,9 @@ use nectar_sim::engine::{Engine, EventId};
 use nectar_sim::metrics::{Histogram, MetricsRegistry};
 use nectar_sim::telemetry::{EventKind, FlightId, Telemetry, TelemetryEvent};
 use nectar_sim::time::{Dur, Time};
+use nectar_sim::workload::{
+    Shape, SizeDist, Transport as FlowTransport, WorkloadGen, WorkloadSpec,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -193,6 +196,34 @@ pub enum Ev {
         /// What to send.
         send: AppSend,
     },
+    /// An open-loop workload arrival fires on a CAB: emit one flow and
+    /// schedule the next arrival from the class's per-CAB stream.
+    WorkloadTick {
+        /// Source CAB index.
+        cab: usize,
+        /// Workload class index.
+        class: usize,
+    },
+    /// A closed-loop workload token launches its next flow from `cab`
+    /// (the initial population at the class window start, and every
+    /// re-arm after a delivery plus think time).
+    WorkloadLaunch {
+        /// Source CAB index.
+        cab: usize,
+        /// Workload class index.
+        class: usize,
+    },
+    /// The workload auto-responder on `cab` answers a pending RPC.
+    WorkloadReply {
+        /// Serving CAB index.
+        cab: usize,
+        /// Workload class index.
+        class: usize,
+        /// Calling CAB index.
+        client: usize,
+        /// RPC transaction id.
+        tx: u32,
+    },
 }
 
 /// An application-level send request.
@@ -315,6 +346,37 @@ struct CabState {
     pool: BufPool,
 }
 
+/// First mailbox id the workload generator reserves for itself. Class
+/// `c` delivers data (and RPC requests) to `BASE + 2c` and RPC replies
+/// to `BASE + 2c + 1`; the delivery hook consumes workload mailboxes
+/// immediately, so they never accumulate memory.
+const WORKLOAD_MAILBOX_BASE: u16 = 0x7000;
+
+/// Per-CAB workload accounting. Lives in the world (not `CabState`)
+/// and never migrates: each counter is only ever incremented by the
+/// CAB's owning shard, so summing across shard registries — the same
+/// merge every `cab{c}.*` counter uses — yields the global value.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkloadCounters {
+    /// Flows launched (open-loop arrivals + closed-loop launches).
+    flows: u64,
+    /// Payload bytes offered across those flows.
+    bytes: u64,
+    /// Closed-loop tokens re-armed by a delivery.
+    rearms: u64,
+    /// RPC requests auto-answered by the serving CAB.
+    replies: u64,
+}
+
+/// An attached traffic generator: the compiled spec plus accounting.
+struct WorkloadState {
+    generator: WorkloadGen,
+    counters: Vec<WorkloadCounters>,
+    /// Reusable payload buffer: flows carry zeroed payloads, so one
+    /// grow-only scratch removes the per-flow allocation.
+    scratch: Vec<u8>,
+}
+
 /// The assembled, runnable Nectar system.
 pub struct World {
     cfg: SystemConfig,
@@ -333,6 +395,8 @@ pub struct World {
     /// The compiled chaos schedule, consulted on every CAB packet
     /// arrival and every HUB item arrival. `None` = a clean network.
     chaos: Option<ChaosInjector>,
+    /// The attached workload generator (`None` = externally driven).
+    workload: Option<Box<WorkloadState>>,
     /// Packets destroyed by fault injection.
     pub faults_injected: u64,
     /// Buffers freed straight to the allocator by hub-side chaos drops.
@@ -376,6 +440,14 @@ pub struct World {
     /// Streaming drain cadence in engine events, sized so the rings
     /// cannot reach capacity between drains.
     stream_drain_every: u64,
+    /// Spill buffer for sharded streaming: when set, [`run_window`]
+    /// drains the rings into it on the same cadence the sequential
+    /// loops use, so a same-instant event burst can never overflow a
+    /// ring mid-window. The owning worker thread collects it at window
+    /// boundaries; the main thread folds it at epoch boundaries.
+    ///
+    /// [`run_window`]: World::run_window
+    spill: Option<Vec<TelemetryEvent>>,
 }
 
 /// Scratch and fold state for an attached [`StreamingDoctor`].
@@ -456,6 +528,7 @@ impl World {
             errors: Vec::new(),
             replies: Vec::new(),
             chaos: None,
+            workload: None,
             faults_injected: 0,
             chaos_freed: 0,
             batch: Vec::new(),
@@ -468,6 +541,7 @@ impl World {
             stream: None,
             stream_since: 0,
             stream_drain_every: u64::MAX,
+            spill: None,
         }
     }
 
@@ -579,8 +653,45 @@ impl World {
         for cs in &mut self.cabs {
             cs.sched.telemetry_mut().set_capacity(capacity);
         }
-        if self.stream.is_some() {
+        if self.stream.is_some() || self.spill.is_some() {
             self.stream_drain_every = (self.min_telemetry_capacity() as u64 / 32).max(1);
+        }
+    }
+
+    /// Arms the sharded-streaming spill path: ring drains on the
+    /// in-window cadence, buffered locally for the shard runner to
+    /// collect (see the `spill` field). Implies
+    /// [`enable_observability`](World::enable_observability).
+    pub(crate) fn enable_telemetry_spill(&mut self) {
+        self.enable_observability();
+        self.spill = Some(Vec::new());
+        self.stream_since = 0;
+        self.stream_drain_every = (self.min_telemetry_capacity() as u64 / 32).max(1);
+    }
+
+    /// Moves everything captured so far — the spill buffer and the
+    /// rings — into `out`.
+    pub(crate) fn take_spill(&mut self, out: &mut Vec<TelemetryEvent>) {
+        if let Some(sp) = &mut self.spill {
+            out.append(sp);
+        }
+        self.drain_telemetry_into(out);
+    }
+
+    /// Counts processed events toward the spill cadence and drains the
+    /// rings into the local buffer when due. One branch when the spill
+    /// path is not armed.
+    #[inline]
+    fn spill_tick(&mut self, processed: u64) {
+        if self.spill.is_none() {
+            return;
+        }
+        self.stream_since += processed;
+        if self.stream_since >= self.stream_drain_every {
+            self.stream_since = 0;
+            let mut sp = self.spill.take().expect("spill checked above");
+            self.drain_telemetry_into(&mut sp);
+            self.spill = Some(sp);
         }
     }
 
@@ -743,6 +854,14 @@ impl World {
             reg.gauge_max(&format!("cab{c}.mailbox.peak_depth"), peak_depth as f64);
             reg.gauge_max(&format!("cab{c}.fiber.utilization"), self.fiber_utilization(c));
         }
+        if let Some(wl) = &self.workload {
+            for (c, k) in wl.counters.iter().enumerate() {
+                reg.counter_add(&format!("cab{c}.workload.flows"), k.flows);
+                reg.counter_add(&format!("cab{c}.workload.bytes"), k.bytes);
+                reg.counter_add(&format!("cab{c}.workload.rearms"), k.rearms);
+                reg.counter_add(&format!("cab{c}.workload.replies"), k.replies);
+            }
+        }
         if let Some(chaos) = self.chaos_stats() {
             reg.counter_add("chaos.drops", chaos.drops);
             reg.counter_add("chaos.burst_drops", chaos.burst_drops);
@@ -836,6 +955,217 @@ impl World {
     pub fn inject_command_loss(&mut self, drop_probability: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&drop_probability), "probability in [0,1]");
         self.add_chaos_clause(seed, Clause::new(Fault::CommandLoss { rate: drop_probability }));
+    }
+
+    // ---------------------------------------------------------------
+    // Workload generator
+    // ---------------------------------------------------------------
+
+    /// `true` when this world processes CAB `cab`'s events (always,
+    /// unless sharded and the plan assigns the cluster elsewhere).
+    fn owns_cab(&self, cab: usize) -> bool {
+        match &self.shard {
+            None => true,
+            Some(ctx) => ctx.plan.shard_of_cab(&self.topo, cab) == ctx.id,
+        }
+    }
+
+    /// Attaches a workload program: compiles `spec` against this
+    /// topology and seeds the initial events — open-loop classes get
+    /// one arrival tick per (class, owned CAB) offset by a first
+    /// inter-arrival draw; closed-loop classes launch their whole
+    /// token population at the class window start. Replaces any
+    /// previous workload. Single-packet transports (datagram, RPC)
+    /// cap flows at [`MAX_FRAGMENT_PAYLOAD`]; specs whose explicit
+    /// sizes exceed it are rejected rather than silently clamped.
+    pub fn set_workload(&mut self, spec: &WorkloadSpec) -> Result<(), String> {
+        let cab_count = self.topo.cab_count();
+        let cluster_of: Vec<u16> =
+            (0..cab_count).map(|c| self.topo.cab_attachment(c).0 as u16).collect();
+        let generator = spec.compile(cluster_of)?;
+        for c in 0..generator.class_count() {
+            let class = generator.class(c);
+            if matches!(class.transport, FlowTransport::Stream) {
+                continue; // byte streams fragment; any grammar size fits
+            }
+            let explicit_max = match class.size {
+                SizeDist::Fixed(b) => b,
+                SizeDist::Uniform { hi, .. } => hi,
+                SizeDist::Pareto { mean, .. } => mean, // tail draws clamp at send
+            };
+            if explicit_max as usize > MAX_FRAGMENT_PAYLOAD {
+                return Err(format!(
+                    "class {c}: {} flows are single-packet, max {MAX_FRAGMENT_PAYLOAD} bytes \
+                     (got {explicit_max})",
+                    class.transport
+                ));
+            }
+        }
+        self.workload = Some(Box::new(WorkloadState {
+            generator,
+            counters: vec![WorkloadCounters::default(); cab_count],
+            scratch: Vec::new(),
+        }));
+        let wl = self.workload.as_ref().expect("just attached");
+        let class_specs: Vec<nectar_sim::workload::ClassSpec> =
+            (0..wl.generator.class_count()).map(|c| *wl.generator.class(c)).collect();
+        for (c, class) in class_specs.into_iter().enumerate() {
+            match class.shape {
+                Shape::Open { .. } => {
+                    for cab in 0..cab_count {
+                        if !self.owns_cab(cab) {
+                            continue;
+                        }
+                        let wl = self.workload.as_mut().expect("attached");
+                        let delay = wl.generator.first_delay(c, cab as u16);
+                        let Some(at) = class.from.checked_add(delay) else { continue };
+                        if at < class.until {
+                            let key = self.next_key(cab);
+                            self.engine.schedule_at_keyed(
+                                at,
+                                key,
+                                Ev::WorkloadTick { cab, class: c },
+                            );
+                        }
+                    }
+                }
+                Shape::Closed { tokens, .. } => {
+                    for cab in 0..cab_count {
+                        if !self.owns_cab(cab) {
+                            continue;
+                        }
+                        for _ in 0..tokens {
+                            let key = self.next_key(cab);
+                            self.engine.schedule_at_keyed(
+                                class.from,
+                                key,
+                                Ev::WorkloadLaunch { cab, class: c },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The attached workload spec, if any (for replay lines).
+    pub fn workload_spec(&self) -> Option<&WorkloadSpec> {
+        self.workload.as_ref().map(|wl| wl.generator.spec())
+    }
+
+    /// Emits one workload flow from `cab` at `now`: a zeroed payload
+    /// of the drawn size over the class's transport, addressed to the
+    /// class's data mailbox (reply mailbox for RPC responses).
+    fn workload_send(&mut self, now: Time, cab: usize, class: usize, dst: usize, bytes: u32) {
+        let wl = self.workload.as_mut().expect("workload event without a workload");
+        let transport = wl.generator.class(class).transport;
+        wl.counters[cab].flows += 1;
+        wl.counters[cab].bytes += bytes as u64;
+        let data_mb = WORKLOAD_MAILBOX_BASE + (class as u16) * 2;
+        let reply_mb = data_mb + 1;
+        let len = match transport {
+            FlowTransport::Stream => bytes as usize,
+            // Single-packet transports: heavy-tail draws clamp here.
+            FlowTransport::Datagram | FlowTransport::Rpc => {
+                (bytes as usize).min(MAX_FRAGMENT_PAYLOAD)
+            }
+        };
+        let mut data = std::mem::take(&mut wl.scratch);
+        data.clear();
+        data.resize(len, 0);
+        match transport {
+            FlowTransport::Datagram => {
+                self.do_datagram_send(now, cab, dst, data_mb, data_mb, &data);
+            }
+            FlowTransport::Stream => {
+                self.do_stream_send(now, cab, dst, data_mb, data_mb, &data);
+            }
+            FlowTransport::Rpc => {
+                self.do_rpc_send(now, cab, dst, reply_mb, data_mb, &data);
+            }
+        }
+        self.workload.as_mut().expect("still attached").scratch = data;
+    }
+
+    /// An open-loop arrival: emit the flow, schedule the next tick.
+    fn workload_tick(&mut self, now: Time, cab: usize, class: usize) {
+        let Some(wl) = self.workload.as_mut() else { return };
+        let until = wl.generator.class(class).until;
+        let (flow, next) = wl.generator.next_open(class, cab as u16);
+        self.workload_send(now, cab, class, flow.dst as usize, flow.bytes);
+        if let Some(at) = now.checked_add(next) {
+            if at < until {
+                let key = self.next_key(cab);
+                self.engine.schedule_at_keyed(at, key, Ev::WorkloadTick { cab, class });
+            }
+        }
+    }
+
+    /// A closed-loop token fires: draw its flow and emit it.
+    fn workload_launch(&mut self, now: Time, cab: usize, class: usize) {
+        let Some(wl) = self.workload.as_mut() else { return };
+        let flow = wl.generator.closed_flow(class, cab as u16);
+        self.workload_send(now, cab, class, flow.dst as usize, flow.bytes);
+    }
+
+    /// The serving CAB answers a workload RPC: response size drawn
+    /// from the server's own stream. `respond` returning `false`
+    /// (transaction retired by a client timeout) is fine — the
+    /// transport already counted it.
+    fn workload_reply(&mut self, cab: usize, class: usize, client: usize, tx: u32) {
+        let Some(wl) = self.workload.as_mut() else { return };
+        let bytes =
+            (wl.generator.reply_bytes(class, cab as u16) as usize).min(MAX_FRAGMENT_PAYLOAD);
+        wl.counters[cab].replies += 1;
+        let mut data = std::mem::take(&mut wl.scratch);
+        data.clear();
+        data.resize(bytes, 0);
+        self.rpc_respond_now(cab, client, tx, &data);
+        self.workload.as_mut().expect("still attached").scratch = data;
+    }
+
+    /// Delivery hook: a message landing in a workload mailbox is
+    /// consumed immediately (workload mailboxes never accumulate), RPC
+    /// requests schedule the auto-responder, and closed-loop tokens
+    /// re-arm after think time. `id`/`tag` come from the delivered
+    /// message: the RPC server delivers requests with id = transaction
+    /// and tag = calling CAB.
+    fn workload_on_deliver(&mut self, cab: usize, mailbox: u16, end: Time, id: u64, tag: u32) {
+        if mailbox < WORKLOAD_MAILBOX_BASE || self.workload.is_none() {
+            return;
+        }
+        let idx = (mailbox - WORKLOAD_MAILBOX_BASE) as usize;
+        let (class, is_reply_mb) = (idx >> 1, idx & 1 == 1);
+        let wl = self.workload.as_mut().expect("checked above");
+        if class >= wl.generator.class_count() {
+            return; // not a workload mailbox after all
+        }
+        let spec = *wl.generator.class(class);
+        self.mailbox_take(cab, mailbox);
+        if matches!(spec.transport, FlowTransport::Rpc) && !is_reply_mb {
+            // A request at the service mailbox: answer it. The reply
+            // leaves when the responder event runs, charging the
+            // server's application thread at that instant.
+            let key = self.next_key(cab);
+            self.engine.schedule_at_keyed(
+                end,
+                key,
+                Ev::WorkloadReply { cab, class, client: tag as usize, tx: id as u32 },
+            );
+            return;
+        }
+        // A datagram/stream delivery — or an RPC reply back at the
+        // caller: the token now lives here and re-arms after thinking.
+        if let Shape::Closed { think, .. } = spec.shape {
+            let Some(at) = end.checked_add(think) else { return };
+            if at < spec.until {
+                let wl = self.workload.as_mut().expect("checked above");
+                wl.counters[cab].rearms += 1;
+                let key = self.next_key(cab);
+                self.engine.schedule_at_keyed(at, key, Ev::WorkloadLaunch { cab, class });
+            }
+        }
     }
 
     /// The system configuration.
@@ -972,12 +1302,15 @@ impl World {
                 break;
             }
             self.engine.step_batch(&mut batch);
-            let processed = batch.len() as u64;
-            n += processed;
+            n += batch.len() as u64;
+            // Tick the drain cadence per event, not per batch: a batch
+            // holds every event sharing one timestamp, and a workload
+            // seeding 10^5 same-instant launches would overflow the
+            // rings before a post-batch drain ever ran.
             for ev in batch.drain(..) {
                 self.dispatch(ev);
+                self.stream_tick(1);
             }
-            self.stream_tick(processed);
         }
         self.batch = batch;
         if self.engine.now() < deadline {
@@ -1052,12 +1385,13 @@ impl World {
                 return (n, QuiescenceOutcome::DeadlineReached);
             }
             self.engine.step_batch(&mut batch);
-            let processed = batch.len() as u64;
-            n += processed;
+            n += batch.len() as u64;
+            // Per-event cadence for the same reason as `run_until`:
+            // same-timestamp batches can be arbitrarily large.
             for ev in batch.drain(..) {
                 self.dispatch(ev);
+                self.stream_tick(1);
             }
-            self.stream_tick(processed);
         }
     }
 
@@ -1079,8 +1413,13 @@ impl World {
             }
             self.engine.step_batch(&mut batch);
             n += batch.len() as u64;
+            // Per-event cadence for the same reason as `run_until`: a
+            // workload's same-instant launch wave arrives as one batch
+            // and would overflow the rings before any between-window
+            // drain ran.
             for ev in batch.drain(..) {
                 self.dispatch(ev);
+                self.spill_tick(1);
             }
         }
         self.batch = batch;
@@ -1171,7 +1510,10 @@ impl World {
             | Ev::CabPacketReady { cab, .. }
             | Ev::CabTimer { cab, .. }
             | Ev::CabReadyTimeout { cab, .. }
-            | Ev::AppSend { cab, .. } => mine[*cab],
+            | Ev::AppSend { cab, .. }
+            | Ev::WorkloadTick { cab, .. }
+            | Ev::WorkloadLaunch { cab, .. }
+            | Ev::WorkloadReply { cab, .. } => mine[*cab],
         });
         std::mem::swap(&mut src.hubs[hub], &mut dst.hubs[hub]);
         let hub_key_src = src.cabs.len() + hub;
@@ -1202,6 +1544,12 @@ impl World {
         }
         if let (Some(a), Some(b)) = (src.chaos.as_mut(), dst.chaos.as_mut()) {
             b.absorb_component_state(a.extract_component_state(&cab16, &[hub as u8]));
+        }
+        // Workload RNG streams follow their CABs the same way chaos
+        // clause streams do; never-started streams move implicitly
+        // (seeds derive from spec seed + class + CAB).
+        if let (Some(a), Some(b)) = (src.workload.as_mut(), dst.workload.as_mut()) {
+            b.generator.absorb_component_state(a.generator.extract_component_state(&cab16));
         }
     }
 
@@ -1426,6 +1774,11 @@ impl World {
                     self.do_multicast_send(now, cab, &dsts, src_mailbox, dst_mailbox, &data);
                 }
             },
+            Ev::WorkloadTick { cab, class } => self.workload_tick(now, cab, class),
+            Ev::WorkloadLaunch { cab, class } => self.workload_launch(now, cab, class),
+            Ev::WorkloadReply { cab, class, client, tx } => {
+                self.workload_reply(cab, class, client, tx)
+            }
         }
     }
 
@@ -1638,7 +1991,7 @@ impl World {
                         .mailboxes
                         .entry(mailbox)
                         .or_insert_with(|| Mailbox::new(format!("mb{mailbox}"), mailbox_cap));
-                    let (id, len) = (msg.id(), msg.len());
+                    let (id, len, tag) = (msg.id(), msg.len(), msg.tag());
                     if slot.append(msg).is_err() {
                         cs.counters.mailbox_rejects += 1;
                         continue;
@@ -1659,6 +2012,9 @@ impl World {
                         }
                     }
                     self.deliveries.push(Delivery { cab, mailbox, msg_id: id, len, at: end });
+                    if self.workload.is_some() {
+                        self.workload_on_deliver(cab, mailbox, end, id, tag);
+                    }
                 }
                 Action::SetTimer { token, delay } => {
                     let src = source.expect("timer from a timerless protocol");

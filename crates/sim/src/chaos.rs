@@ -45,6 +45,8 @@ use crate::time::{Dur, Time};
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::spec::{fmt_dur, parse_dur, parse_prob};
+
 /// Where a clause applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChaosTarget {
@@ -331,42 +333,6 @@ impl fmt::Display for ChaosSchedule {
     }
 }
 
-fn fmt_dur(d: Dur) -> String {
-    let ns = d.nanos();
-    if ns == 0 {
-        "0ns".to_string()
-    } else if ns.is_multiple_of(1_000_000_000) {
-        format!("{}s", ns / 1_000_000_000)
-    } else if ns.is_multiple_of(1_000_000) {
-        format!("{}ms", ns / 1_000_000)
-    } else if ns.is_multiple_of(1_000) {
-        format!("{}us", ns / 1_000)
-    } else {
-        format!("{ns}ns")
-    }
-}
-
-fn parse_dur(s: &str) -> Result<Dur, String> {
-    let s = s.trim();
-    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
-        (d, 1)
-    } else if let Some(d) = s.strip_suffix("us") {
-        (d, 1_000)
-    } else if let Some(d) = s.strip_suffix("ms") {
-        (d, 1_000_000)
-    } else if let Some(d) = s.strip_suffix('s') {
-        (d, 1_000_000_000)
-    } else {
-        return Err(format!("duration `{s}` needs a ns/us/ms/s suffix"));
-    };
-    let n: u64 = digits.trim().parse().map_err(|_| format!("bad duration `{s}`"))?;
-    Ok(Dur::from_nanos(n * mult))
-}
-
-fn parse_f64(s: &str) -> Result<f64, String> {
-    s.trim().parse().map_err(|_| format!("bad number `{s}`"))
-}
-
 fn parse_clause(raw: &str) -> Result<Clause, String> {
     // Split off the window suffix `[from..until]`.
     let (head, window) = match raw.find('[') {
@@ -404,27 +370,27 @@ fn parse_clause(raw: &str) -> Result<Clause, String> {
     let fault = match kind.trim() {
         "loss" => {
             need(1)?;
-            Fault::Loss { rate: parse_f64(args[0])? }
+            Fault::Loss { rate: parse_prob(args[0])? }
         }
         "burst" => {
             need(3)?;
             Fault::Burst {
-                loss: parse_f64(args[0])?,
-                p_bad: parse_f64(args[1])?,
-                p_recover: parse_f64(args[2])?,
+                loss: parse_prob(args[0])?,
+                p_bad: parse_prob(args[1])?,
+                p_recover: parse_prob(args[2])?,
             }
         }
         "dup" => {
             need(1)?;
-            Fault::Duplicate { rate: parse_f64(args[0])? }
+            Fault::Duplicate { rate: parse_prob(args[0])? }
         }
         "reorder" => {
             need(2)?;
-            Fault::Reorder { rate: parse_f64(args[0])?, max_delay: parse_dur(args[1])? }
+            Fault::Reorder { rate: parse_prob(args[0])?, max_delay: parse_dur(args[1])? }
         }
         "corrupt" => {
             need(1)?;
-            Fault::Corrupt { rate: parse_f64(args[0])? }
+            Fault::Corrupt { rate: parse_prob(args[0])? }
         }
         "flap" => {
             need(2)?;
@@ -432,7 +398,7 @@ fn parse_clause(raw: &str) -> Result<Clause, String> {
         }
         "cmdloss" => {
             need(1)?;
-            Fault::CommandLoss { rate: parse_f64(args[0])? }
+            Fault::CommandLoss { rate: parse_prob(args[0])? }
         }
         "portfail" => {
             need(0)?;
@@ -1062,6 +1028,18 @@ mod tests {
             "loss(0.1)@hub0",
             "loss(0.1)[1ms..",
             "burst(0.5)",
+            // Hardened number validation: out-of-range and non-finite
+            // rates used to parse into nonsense schedules.
+            "loss(1.5)",
+            "loss(NaN)",
+            "loss(-0.1)",
+            "loss(inf)",
+            "dup(2.0)",
+            "corrupt(-1)",
+            "burst(1.5,0.1,0.1)",
+            // Duration overflow used to wrap silently.
+            "flap(99999999999999s,1s)",
+            "loss(0.1)[99999999999999s..]",
         ] {
             assert!(ChaosSchedule::parse(0, bad).is_err(), "`{bad}` should not parse");
         }

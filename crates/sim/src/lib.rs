@@ -21,6 +21,9 @@
 //!   pathology detection, and the perf-regression gate.
 //! * [`chaos`] — seeded, replayable fault schedules (loss, bursts,
 //!   duplication, reordering, corruption, flaps, port failure).
+//! * [`spec`] — hardened shared parsing for the textual spec grammars.
+//! * [`workload`] — seeded, replayable traffic programs (open/closed
+//!   loops, arrival processes, size distributions, traffic matrices).
 //!
 //! # Examples
 //!
@@ -48,11 +51,13 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod rng;
+pub mod spec;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod units;
+pub mod workload;
 
 /// The most frequently used names, for glob import.
 pub mod prelude {
@@ -65,4 +70,5 @@ pub mod prelude {
     pub use crate::time::{Dur, Time};
     pub use crate::trace::{Category, Trace};
     pub use crate::units::Bandwidth;
+    pub use crate::workload::{WorkloadGen, WorkloadSpec};
 }
